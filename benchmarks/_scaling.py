@@ -1,0 +1,57 @@
+"""Shared helpers for the scaling benchmarks (Figures 9-12, Tables 3-4)."""
+
+import time
+
+from repro.gz.writer import compress as gz_compress
+from repro.reader import ParallelGzipReader
+from repro.sim import CostModel, measure_components
+
+#: Core counts swept in the paper's figures.
+PAPER_CORES = [1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128]
+#: Real (wall-clock) runs on this machine use small thread counts.
+REAL_THREADS = [1, 2, 4]
+
+_MEASURED_MODEL = None
+
+
+def measured_model() -> CostModel:
+    """Self-calibrated cost model (memoized; measuring takes seconds)."""
+    global _MEASURED_MODEL
+    if _MEASURED_MODEL is None:
+        _MEASURED_MODEL = CostModel.measured(
+            measure_components(sample_size=128 * 1024)
+        )
+    return _MEASURED_MODEL
+
+
+def real_decompression_bandwidth(
+    blob: bytes,
+    *,
+    parallelization: int,
+    chunk_size: int,
+    repeats: int = 2,
+    **reader_kwargs,
+) -> float:
+    """Wall-clock decompressed bytes/s through the real ParallelGzipReader."""
+    best = float("inf")
+    output_size = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with ParallelGzipReader(
+            blob, parallelization=parallelization, chunk_size=chunk_size,
+            verify=False, **reader_kwargs,
+        ) as reader:
+            output_size = 0
+            while True:
+                piece = reader.read(1 << 20)
+                if not piece:
+                    break
+                output_size += len(piece)
+        best = min(best, time.perf_counter() - start)
+    return output_size / best
+
+
+def make_corpus(generator, size: int, profile: str = "pigz", seed: int = 0):
+    """(data, gzip blob) for a scaling corpus."""
+    data = generator(size, seed)
+    return data, gz_compress(data, profile)

@@ -1,0 +1,62 @@
+"""Figure 8: SharedFileReader parallel strided reads.
+
+The paper reads a 1 GiB file from /dev/shm with 1..128 pinned threads and
+plateaus at 18 GB/s from 4 threads on. Here: a scaled-down file (tmpfs when
+available), 1..8 threads — ``os.pread`` on a shared descriptor releases the
+GIL, so real thread scaling is measurable even in Python.
+"""
+
+import os
+import pathlib
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.io import strided_read_benchmark
+
+from conftest import fmt_bw
+
+THREADS = [1, 2, 4, 8]
+FILE_SIZE = 64 * 1024 * 1024
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def test_file():
+    directory = "/dev/shm" if os.path.isdir("/dev/shm") else tempfile.gettempdir()
+    path = pathlib.Path(directory) / "repro_fig08.bin"
+    rng = np.random.default_rng(0)
+    path.write_bytes(rng.integers(0, 256, size=FILE_SIZE, dtype=np.uint8).tobytes())
+    yield path
+    path.unlink(missing_ok=True)
+
+
+@pytest.mark.parametrize("threads", THREADS)
+def test_strided_read(benchmark, test_file, threads):
+    result = benchmark.pedantic(
+        strided_read_benchmark,
+        args=(str(test_file),),
+        kwargs={"num_threads": threads, "chunk_size": 128 * 1024},
+        rounds=3,
+        iterations=1,
+    )
+    assert result["bytes"] == FILE_SIZE
+    _results[threads] = FILE_SIZE / benchmark.stats.stats.min
+
+
+def test_report(benchmark, reporter):
+    benchmark.pedantic(lambda: None, rounds=1)
+    table = reporter("Figure 8: shared-file strided read bandwidth")
+    table.row("threads", "bandwidth", widths=[8, 14])
+    for threads in THREADS:
+        if threads in _results:
+            table.row(threads, fmt_bw(_results[threads]), widths=[8, 14])
+    table.add()
+    table.add("Paper (Fig. 8): 18 GB/s plateau from 4 threads; reading only")
+    table.add("becomes the bottleneck beyond ~128 decompression cores.")
+    table.add(f"(this container exposes {os.cpu_count()} core(s); thread counts")
+    table.add("beyond that measure pread overlap, not CPU scaling)")
+    table.emit()
+    assert _results[max(_results)] > 0.5 * _results[1]  # no pathological drop

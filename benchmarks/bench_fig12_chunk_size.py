@@ -1,0 +1,102 @@
+"""Figure 12: influence of the chunk size (16 cores, 8 GiB of base64).
+
+Paper findings: a clear interior optimum — 4 MiB for rapidgzip, 32 MiB for
+pugz (8x larger, owing to the 3.3x slower block finder + two-stage
+overheads); degradation at small chunks (block-finder overhead per chunk)
+and at large chunks (too few chunks for even work distribution), with pugz
+stabilizing at >=512 MiB because it caps chunks at file/threads = 389 MiB.
+
+Also sweeps the *real* implementation's chunk size on a small corpus: the
+per-chunk overhead trend at small chunk sizes is directly measurable even
+single-core.
+"""
+
+import pytest
+
+from repro.datagen import generate_base64
+from repro.sim import CostModel, WORKLOADS, simulate_pugz, simulate_rapidgzip
+
+from _scaling import make_corpus, measured_model, real_decompression_bandwidth
+from conftest import fmt_bw
+
+SIM_CHUNK_SIZES_MIB = [0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+REAL_CHUNK_SIZES_KIB = [8, 32, 128, 512, 2048]
+
+
+def test_fig12_real_chunk_size_sweep(benchmark, reporter):
+    data, blob = make_corpus(generate_base64, 3 * 1024 * 1024)
+
+    def sweep():
+        return {
+            size_kib: real_decompression_bandwidth(
+                blob, parallelization=2, chunk_size=size_kib * 1024, repeats=1
+            )
+            for size_kib in REAL_CHUNK_SIZES_KIB
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = reporter("Figure 12 (real): chunk size sweep, this implementation")
+    table.row("chunk size", "bandwidth", widths=[12, 14])
+    for size_kib, bandwidth in results.items():
+        table.row(f"{size_kib} KiB", fmt_bw(bandwidth), widths=[12, 14])
+    table.add("(small chunks pay per-chunk block-finder + orchestration cost)")
+    table.emit()
+    # The smallest chunk size must be measurably slower than the best.
+    assert max(results.values()) > 1.2 * results[REAL_CHUNK_SIZES_KIB[0]]
+
+
+def test_fig12_simulated_sweep(benchmark, reporter):
+    model = CostModel.from_paper()
+    workload = WORKLOADS["base64"]
+    file_size = 8 * 1024**3  # paper: 8 GiB of base64 data
+
+    def simulate():
+        rows = {}
+        for size_mib in SIM_CHUNK_SIZES_MIB:
+            chunk = size_mib * 1024 * 1024
+            rows[size_mib] = {
+                "rapidgzip": simulate_rapidgzip(
+                    16, workload, model,
+                    uncompressed_size=file_size, chunk_size=chunk,
+                ).bandwidth,
+                "pugz": simulate_pugz(
+                    16, workload, model,
+                    uncompressed_size=file_size, chunk_size=chunk,
+                    synchronized=False,
+                ).bandwidth,
+            }
+        return rows
+
+    rows = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    table = reporter("Figure 12 (simulated): chunk size sweep @16 cores, GB/s")
+    table.row("chunk size", "rapidgzip", "pugz", widths=[12, 10, 10])
+    for size_mib in SIM_CHUNK_SIZES_MIB:
+        table.row(
+            f"{size_mib:g} MiB",
+            f"{rows[size_mib]['rapidgzip'] / 1e9:.2f}",
+            f"{rows[size_mib]['pugz'] / 1e9:.2f}",
+            widths=[12, 10, 10],
+        )
+    best_rapidgzip = max(SIM_CHUNK_SIZES_MIB,
+                         key=lambda s: rows[s]["rapidgzip"])
+    # Above ~389 MiB pugz's chunk cap (file/threads) takes over and the
+    # distribution becomes one perfectly balanced chunk per thread — that
+    # regime is not a "chunk size optimum", so judge pugz's optimum below
+    # the cap, like the paper's figure does.
+    uncapped = [s for s in SIM_CHUNK_SIZES_MIB if s <= 256]
+    best_pugz = max(uncapped, key=lambda s: rows[s]["pugz"])
+    table.add()
+    table.add(f"optimum: rapidgzip {best_rapidgzip:g} MiB (paper 4 MiB), "
+              f"pugz {best_pugz:g} MiB below the cap (paper 32 MiB)")
+    table.add("pugz stays stable at >=512 MiB: chunk capped to file/threads "
+              "= 389 MiB, one balanced chunk per thread (paper §4.7)")
+    table.emit()
+
+    # Shape assertions: interior optima, rapidgzip's optimum smaller than
+    # pugz's, degradation at both extremes for rapidgzip.
+    assert 1 <= best_rapidgzip <= 16
+    assert best_pugz >= best_rapidgzip
+    assert rows[best_rapidgzip]["rapidgzip"] > 1.5 * rows[0.125]["rapidgzip"]
+    assert rows[best_rapidgzip]["rapidgzip"] > 1.5 * rows[512]["rapidgzip"]
+    # pugz at 512 MiB does NOT degrade like rapidgzip (the cap).
+    assert rows[512]["pugz"] > rows[512]["rapidgzip"]

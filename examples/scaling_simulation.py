@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's scaling curves from the calibrated simulator.
+
+The repro.sim package models the cache-and-prefetch pipeline (worker pool,
+sequential window propagation, prefetch depth, contention) with per-
+component costs taken from the paper's own measurements. This example
+prints the Figure 9 and Figure 10 families and the headline speedups —
+the full benchmark harness lives in benchmarks/.
+
+Run:  python examples/scaling_simulation.py
+"""
+
+from repro.sim import (
+    CostModel,
+    WORKLOADS,
+    simulate_pugz,
+    simulate_rapidgzip,
+    simulate_single_threaded,
+)
+
+model = CostModel.from_paper()
+GB = 1e9
+
+print("Figure 9 — base64-encoded random data, weak scaling (GB/s)")
+print(f"{'P':>4} {'rapidgzip':>10} {'rg-index':>10} {'pugz':>8} {'pugz-sync':>10}")
+for cores in (1, 2, 4, 8, 16, 32, 64, 128):
+    size = 512 * 1024 * 1024 * cores
+    w = WORKLOADS["base64"]
+    rapid = simulate_rapidgzip(cores, w, model, uncompressed_size=size)
+    index = simulate_rapidgzip(cores, w, model, uncompressed_size=size,
+                               with_index=True)
+    pugz = simulate_pugz(cores, w, model, uncompressed_size=size,
+                         synchronized=False)
+    sync = simulate_pugz(cores, w, model,
+                         uncompressed_size=128 * 1024 * 1024 * cores)
+    print(f"{cores:>4} {rapid.bandwidth / GB:>10.2f} "
+          f"{index.bandwidth / GB:>10.2f} {pugz.bandwidth / GB:>8.2f} "
+          f"{sync.bandwidth / GB:>10.2f}")
+
+gzip_bw = simulate_single_threaded(
+    "gzip", WORKLOADS["base64"], model, uncompressed_size=1e9
+).bandwidth
+rapid128 = simulate_rapidgzip(
+    128, WORKLOADS["base64"], model, uncompressed_size=512 * 1024**2 * 128
+).bandwidth
+print(f"\nspeedup over GNU gzip at 128 cores: {rapid128 / gzip_bw:.0f}x "
+      "(paper: 55x)\n")
+
+print("Figure 10 — Silesia-like corpus (markers persist -> Amdahl plateau)")
+print(f"{'P':>4} {'rapidgzip':>10} {'rg-index':>10} {'serial frac':>12}")
+for cores in (16, 32, 64, 96, 128):
+    size = 424e6 * cores
+    w = WORKLOADS["silesia"]
+    rapid = simulate_rapidgzip(cores, w, model, uncompressed_size=size)
+    index = simulate_rapidgzip(cores, w, model, uncompressed_size=size,
+                               with_index=True)
+    print(f"{cores:>4} {rapid.bandwidth / GB:>10.2f} "
+          f"{index.bandwidth / GB:>10.2f} {rapid.serial_fraction:>11.0%}")
+
+print("\nThe no-index curve flattens after ~64 cores as the serial window")
+print("propagation + marker handling approach 100% of the makespan — the")
+print("paper's §4.5 explanation, visible in the serial fraction column.")

@@ -1,0 +1,8 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package
+
+(legacy --no-use-pep517 path). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,256 @@
+"""Dynamic Block finders — four implementations mirroring paper Table 2.
+
+Ordered slowest to fastest, as in the paper's component benchmarks:
+
+1. :class:`DynamicBlockFinderZlibTrial` — bit-shift the input so the trial
+   offset is byte-aligned, then ask zlib to inflate ("DBF zlib").
+2. :class:`DynamicBlockFinderCustomTrial` — try our strict header parser at
+   every bit offset ("DBF custom deflate"); also the instrumented engine
+   behind the Table 1 filter-frequency measurements.
+3. :class:`DynamicBlockFinderSkipLUT` — a 14-bit lookup table encodes how
+   far ahead the next offset passing the first three checks (non-final,
+   type 10, HLIT < 30) can possibly be, skipping several bits per probe
+   ("DBF skip-LUT").
+4. :class:`DynamicBlockFinder` — skip LUT plus the bit-parallel packed
+   precode histogram filter chain ("DBF rapidgzip", the production finder).
+"""
+
+from __future__ import annotations
+
+import zlib
+from functools import lru_cache
+
+import numpy as np
+
+from ..deflate.block import read_block_header
+from ..errors import FormatError
+from ..io import BitReader, ensure_file_reader
+from .base import BlockFinder
+
+__all__ = [
+    "DynamicBlockFinder",
+    "DynamicBlockFinderSkipLUT",
+    "DynamicBlockFinderCustomTrial",
+    "DynamicBlockFinderZlibTrial",
+    "skip_lut",
+]
+
+#: Window width the skip LUT examines; candidates need 8 visible bits
+#: (1 final + 2 type + 5 HLIT), so skip distances are 0..6, or 7 = "none".
+_LUT_BITS = 14
+_CANDIDATE_BITS = 8
+_MAX_SKIP = _LUT_BITS - _CANDIDATE_BITS + 1  # 7
+
+
+@lru_cache(maxsize=1)
+def skip_lut() -> np.ndarray:
+    """14-bit window -> bits to skip until the first plausible candidate.
+
+    Bit *i* of the index is the *i*-th upcoming stream bit (LSB-first, as
+    :meth:`BitReader.peek` delivers them). Entry 0 means "the current
+    offset itself passes the first three checks".
+    """
+    values = np.arange(1 << _LUT_BITS, dtype=np.uint32)
+    table = np.full(1 << _LUT_BITS, _MAX_SKIP, dtype=np.uint8)
+    for position in range(_MAX_SKIP - 1, -1, -1):
+        final_bit = (values >> position) & 1
+        type_low = (values >> (position + 1)) & 1
+        type_high = (values >> (position + 2)) & 1
+        hlit = (values >> (position + 3)) & 31
+        passes = (final_bit == 0) & (type_low == 0) & (type_high == 1) & (hlit < 30)
+        table[passes] = position
+    return table
+
+
+class DynamicBlockFinder(BlockFinder):
+    """Production Dynamic Block finder: skip LUT + full §3.4.2 filter chain.
+
+    ``counter`` (a dict) collects per-:class:`~repro.deflate.block.FilterStage`
+    rejection counts for candidates that reach the header parser.
+    """
+
+    def __init__(self, source, counter: dict = None):
+        self._reader = BitReader(ensure_file_reader(source))
+        self.counter = counter if counter is not None else {}
+        self.candidates_tested = 0
+
+    def find_next(self, bit_offset: int, until: int = None):
+        reader = self._reader
+        limit = reader.size_in_bits() - _CANDIDATE_BITS
+        if until is not None:
+            limit = min(limit, until - 1)
+        lut = skip_lut()
+        reader.seek(bit_offset)
+        position = bit_offset
+        while position <= limit:
+            skip = int(lut[reader.peek(_LUT_BITS)])
+            if skip:
+                reader.skip(skip)
+                position += skip
+                continue
+            self.candidates_tested += 1
+            try:
+                read_block_header(reader, strict=True, counter=self.counter)
+                return position
+            except FormatError:
+                position += 1
+                reader.seek(position)
+        return None
+
+
+class DynamicBlockFinderSkipLUT(BlockFinder):
+    """Skip LUT + straightforward strict parse (no packed-histogram tricks).
+
+    The full check falls back to the plain list-based code-length
+    classification, so the delta between this class and
+    :class:`DynamicBlockFinder` isolates the bit-parallel precode filter —
+    the paper's Table 2 shows 18 vs 43 MB/s for the same split.
+    """
+
+    def __init__(self, source):
+        self._reader = BitReader(ensure_file_reader(source))
+
+    def find_next(self, bit_offset: int, until: int = None):
+        reader = self._reader
+        limit = reader.size_in_bits() - _CANDIDATE_BITS
+        if until is not None:
+            limit = min(limit, until - 1)
+        lut = skip_lut()
+        reader.seek(bit_offset)
+        position = bit_offset
+        while position <= limit:
+            skip = int(lut[reader.peek(_LUT_BITS)])
+            if skip:
+                reader.skip(skip)
+                position += skip
+                continue
+            if _plain_strict_trial(reader, position):
+                return position
+            position += 1
+            reader.seek(position)
+        return None
+
+
+class DynamicBlockFinderCustomTrial(BlockFinder):
+    """Trial-and-error with the custom Deflate parser at *every* offset.
+
+    28x faster than the zlib trial in the paper because the parser returns
+    at the first failed check instead of setting up a full inflate state.
+    Also used (with ``counter``) to reproduce Table 1: every bit position
+    is tested, so filter frequencies are directly comparable.
+    """
+
+    def __init__(self, source, counter: dict = None):
+        self._reader = BitReader(ensure_file_reader(source))
+        self.counter = counter if counter is not None else {}
+
+    def find_next(self, bit_offset: int, until: int = None):
+        reader = self._reader
+        limit = reader.size_in_bits() - _CANDIDATE_BITS
+        if until is not None:
+            limit = min(limit, until - 1)
+        position = bit_offset
+        while position <= limit:
+            reader.seek(position)
+            try:
+                read_block_header(reader, strict=True, counter=self.counter)
+                return position
+            except FormatError:
+                position += 1
+        return None
+
+
+class DynamicBlockFinderZlibTrial(BlockFinder):
+    """Byte-shift the stream and let zlib attempt to inflate ("DBF zlib").
+
+    For each bit offset the input must be re-aligned (a full buffer shift)
+    before zlib can even look at it — the reason this baseline measures at
+    0.12 MB/s in the paper.
+    """
+
+    #: How much shifted data to hand zlib per trial. Enough to cover a
+    #: maximal Deflate header plus some payload.
+    TRIAL_BYTES = 512
+
+    def __init__(self, source):
+        self._reader = ensure_file_reader(source)
+
+    def _shifted_window(self, bit_offset: int) -> bytes:
+        byte_offset, shift = divmod(bit_offset, 8)
+        raw = self._reader.pread(byte_offset, self.TRIAL_BYTES + 1)
+        if not raw:
+            return b""
+        value = int.from_bytes(raw, "little") >> shift
+        return value.to_bytes(len(raw), "little")[:-1] if shift else raw[:-1]
+
+    def find_next(self, bit_offset: int, until: int = None):
+        limit = self._reader.size() * 8 - _CANDIDATE_BITS
+        if until is not None:
+            limit = min(limit, until - 1)
+        position = bit_offset
+        while position <= limit:
+            window = self._shifted_window(position)
+            if len(window) >= 4:
+                # Pure trial-and-error: re-align the buffer and let zlib
+                # attempt to inflate at *every* offset (the paper's
+                # 0.12 MB/s baseline — no cheap prechecks).
+                decompressor = zlib.decompressobj(wbits=-15)
+                try:
+                    decompressor.decompress(window)
+                except zlib.error:
+                    pass
+                else:
+                    # Keep candidate semantics aligned with the other
+                    # finders: non-final Dynamic blocks only.
+                    if window[0] & 0b111 == 0b100:
+                        return position
+            position += 1
+        return None
+
+
+def _plain_strict_trial(reader, position: int) -> bool:
+    """Strict header parse using only the generic classifier (no LUTs)."""
+    from ..huffman import CanonicalDecoder, CodeClassification, classify_code_lengths
+    from ..huffman.precode import PRECODE_SYMBOL_ORDER
+
+    try:
+        if reader.read(1):
+            return False
+        if reader.read(2) != 0b10:
+            return False
+        hlit = reader.read(5)
+        if hlit >= 30:
+            return False
+        hdist = reader.read(5)
+        hclen = reader.read(4)
+        lengths = [0] * 19
+        for index in range(hclen + 4):
+            lengths[PRECODE_SYMBOL_ORDER[index]] = reader.read(3)
+        if classify_code_lengths(lengths) is not CodeClassification.VALID:
+            return False
+        precode = CanonicalDecoder(lengths)
+        total = hlit + 257 + hdist + 1
+        code_lengths = []
+        while len(code_lengths) < total:
+            symbol = precode.decode(reader)
+            if symbol < 16:
+                code_lengths.append(symbol)
+            elif symbol == 16:
+                if not code_lengths:
+                    return False
+                code_lengths.extend([code_lengths[-1]] * (3 + reader.read(2)))
+            elif symbol == 17:
+                code_lengths.extend([0] * (3 + reader.read(3)))
+            else:
+                code_lengths.extend([0] * (11 + reader.read(7)))
+        if len(code_lengths) > total:
+            return False
+        literals = code_lengths[: hlit + 257]
+        distances = code_lengths[hlit + 257 :]
+        if classify_code_lengths(distances) is not CodeClassification.VALID:
+            used = sum(1 for length in distances if length)
+            if not (used == 0 or (used == 1 and max(distances) == 1)):
+                return False
+        return classify_code_lengths(literals) is CodeClassification.VALID
+    except FormatError:
+        return False

@@ -1,0 +1,88 @@
+"""Non-Compressed Block finder (paper §3.4.1) — NumPy-vectorized scan.
+
+A Non-Compressed Block header is: 1 final bit (must be 0 for a candidate),
+2 type bits ``00``, zero padding to the next byte boundary, then the 16-bit
+LEN and its one's complement NLEN, byte-aligned. The finder therefore scans
+*byte* positions b and requires
+
+* ``data[b] | data[b+1]<<8`` XOR ``data[b+2] | data[b+3]<<8`` == 0xFFFF, and
+* the three bits immediately before the boundary — header (0, 00) with zero
+  padding — to be zero, i.e. ``data[b-1] & 0xE0 == 0``.
+
+Candidate *bit* offsets are reported in canonical form ``8*b - 3`` (zero
+padding). Offsets of Non-Compressed blocks are inherently ambiguous — the
+encoder's true header may sit a few zero bits earlier — so all offset
+comparisons against NC blocks go through :func:`canonical_nc_offset`.
+
+Both checks are single vectorized passes, which is why the paper measures
+the NBF 7x faster than the fastest Dynamic finder (Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..io import ensure_file_reader
+from .base import BlockFinder
+
+__all__ = ["UncompressedBlockFinder", "canonical_nc_offset", "scan_nc_candidates"]
+
+_SCAN_CHUNK = 1 << 20  # bytes per vectorized pass
+
+
+def canonical_nc_offset(bit_offset: int) -> int:
+    """Normalize an NC header bit offset to the canonical zero-padding form.
+
+    Given any offset whose 3-bit header is followed by zero padding ending
+    at byte boundary *b*, returns ``8*b - 3``. Dynamic-block offsets are
+    unambiguous and must not be passed here.
+    """
+    length_field_byte = (bit_offset + 3 + 7) // 8
+    return length_field_byte * 8 - 3
+
+
+def scan_nc_candidates(data: bytes, base_byte_offset: int = 0) -> np.ndarray:
+    """All canonical NC candidate bit offsets within ``data``.
+
+    ``base_byte_offset`` is the file offset of ``data[0]``; byte position 0
+    of the file can never host a candidate (no room for header bits).
+    """
+    if len(data) < 5:
+        return np.empty(0, dtype=np.int64)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    lens = arr[1:-3].astype(np.uint32) | (arr[2:-2].astype(np.uint32) << 8)
+    nlens = arr[3:-1].astype(np.uint32) | (arr[4:].astype(np.uint32) << 8)
+    header_ok = (arr[:-4] & 0xE0) == 0
+    matches = ((lens ^ nlens) == 0xFFFF) & header_ok
+    positions = np.nonzero(matches)[0] + 1  # LEN sits at byte b = index+1
+    if base_byte_offset == 0:
+        positions = positions  # b >= 1 already guaranteed by the slicing
+    return (positions + base_byte_offset) * 8 - 3
+
+
+class UncompressedBlockFinder(BlockFinder):
+    """Chunked vectorized scanner over a file reader."""
+
+    def __init__(self, source):
+        self._reader = ensure_file_reader(source)
+
+    def find_next(self, bit_offset: int, until: int = None):
+        size_bits = self._reader.size() * 8
+        limit = size_bits if until is None else min(until, size_bits)
+        position = max(bit_offset, 0)
+        while position < limit:
+            # Candidate at bit 8b-3 needs bytes [b-1, b+4); start scanning
+            # one byte before the position's byte.
+            start_byte = max((position + 3) // 8 - 1, 0)
+            data = self._reader.pread(start_byte, _SCAN_CHUNK + 4)
+            if len(data) < 5:
+                return None
+            candidates = scan_nc_candidates(data, base_byte_offset=start_byte)
+            candidates = candidates[(candidates >= position) & (candidates < limit)]
+            if candidates.size:
+                return int(candidates[0])
+            advanced = start_byte + len(data) - 4
+            position = max(position + 1, advanced * 8 - 3)
+            if len(data) < _SCAN_CHUNK + 4:
+                return None
+        return None

@@ -1,0 +1,18 @@
+"""Caching layer: LRU chunk caches and prefetch strategies."""
+
+from .lru import CacheStatistics, LRUCache
+from .strategies import (
+    FetchMultiStream,
+    FetchNextAdaptive,
+    FetchNextFixed,
+    PrefetchStrategy,
+)
+
+__all__ = [
+    "CacheStatistics",
+    "LRUCache",
+    "FetchMultiStream",
+    "FetchNextAdaptive",
+    "FetchNextFixed",
+    "PrefetchStrategy",
+]

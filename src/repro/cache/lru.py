@@ -1,0 +1,101 @@
+"""LRU caches for decoded chunks (paper §3.2).
+
+Two separate caches exist in the fetcher: a small *access cache* holding
+chunks the reader actually consumed (size 1 for plain sequential
+decompression) and a larger *prefetch cache* (2x the parallelization) fed by
+the prefetcher — keeping them separate prevents speculative results from
+evicting data the consumer is about to re-read (prefetch cache pollution).
+
+False positives get inserted under an offset nobody ever requests; they age
+out through normal LRU eviction, which is the mechanism that makes the
+whole architecture robust (paper §3).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..errors import UsageError
+
+__all__ = ["CacheStatistics", "LRUCache"]
+
+
+@dataclass
+class CacheStatistics:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Thread-safe least-recently-used mapping with a fixed capacity."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise UsageError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.statistics = CacheStatistics()
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, default=None):
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.statistics.hits += 1
+                return self._entries[key]
+            self.statistics.misses += 1
+            return default
+
+    def peek(self, key, default=None):
+        """Look up without updating recency or statistics."""
+        with self._lock:
+            return self._entries.get(key, default)
+
+    def insert(self, key, value) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            self.statistics.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+
+    def pop(self, key, default=None):
+        with self._lock:
+            return self._entries.pop(key, default)
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 1:
+            raise UsageError("cache capacity must be at least 1")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries.keys())

@@ -1,0 +1,261 @@
+"""rapidgzip-like command line interface.
+
+Mirrors the rapidgzip tool's surface where it makes sense for this
+reproduction::
+
+    rapidgzip-py data.gz                       # decompress to data
+    rapidgzip-py -c data.gz > out              # decompress to stdout
+    rapidgzip-py -P 8 --chunk-size 4096 x.gz   # 8-way parallel, 4 MiB chunks
+    rapidgzip-py --export-index x.idx x.gz     # build + save seek index
+    rapidgzip-py --import-index x.idx x.gz     # decompress via the index
+    rapidgzip-py --count x.gz                  # decompressed size only
+    rapidgzip-py --count-lines x.gz            # newline count (wc -l)
+    rapidgzip-py --analyze x.gz                # block/member structure
+    rapidgzip-py --recover broken.gz           # salvage a damaged file
+    rapidgzip-py --compress --profile pigz f   # create test corpora
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import __version__
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rapidgzip-py",
+        description="Parallel gzip decompression with seeking "
+        "(pure-Python reproduction of rapidgzip, HPDC '23).",
+    )
+    parser.add_argument("file", help="input file ('-' for stdin)")
+    parser.add_argument("--version", action="version", version=__version__)
+
+    parser.add_argument(
+        "-P",
+        "--parallelization",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="number of decompression threads (default: CPU count)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        metavar="KiB",
+        help="compressed chunk size in KiB (default: 4096 = 4 MiB)",
+    )
+    parser.add_argument("-o", "--output", help="output file path")
+    parser.add_argument(
+        "-c", "--stdout", action="store_true", help="write output to stdout"
+    )
+    parser.add_argument(
+        "-d", "--decompress", action="store_true", help="decompress (default action)"
+    )
+    parser.add_argument(
+        "-f", "--force", action="store_true", help="overwrite existing output files"
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip CRC-32/ISIZE verification"
+    )
+
+    group = parser.add_argument_group("index")
+    group.add_argument("--export-index", metavar="FILE", help="write seek index")
+    group.add_argument("--import-index", metavar="FILE", help="load seek index")
+
+    actions = parser.add_argument_group("alternative actions")
+    actions.add_argument(
+        "--count", action="store_true", help="print the decompressed byte count"
+    )
+    actions.add_argument(
+        "--count-lines", action="store_true", help="print the newline count"
+    )
+    actions.add_argument(
+        "--analyze", action="store_true", help="print member/block structure"
+    )
+    actions.add_argument(
+        "--recover", action="store_true", help="salvage data from a damaged file"
+    )
+    actions.add_argument(
+        "--compress", action="store_true", help="compress instead of decompressing"
+    )
+    actions.add_argument(
+        "--profile",
+        default="gzip",
+        help="compression profile (gzip, pigz, bgzf, bgzf-stored, igzip0, stored, custom)",
+    )
+    actions.add_argument("--level", type=int, default=None, help="compression level")
+    actions.add_argument(
+        "--parallel-compress",
+        action="store_true",
+        help="with --compress: compress chunks on -P threads "
+        "(pigz-style independent members; combine with --profile bgzf "
+        "via --layout)",
+    )
+    actions.add_argument(
+        "--layout",
+        default="members",
+        choices=["members", "bgzf"],
+        help="parallel compression output layout",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print fetcher statistics to stderr"
+    )
+    return parser
+
+
+def _read_input(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _open_output(arguments, default_name: str):
+    if arguments.stdout or arguments.file == "-":
+        return sys.stdout.buffer
+    path = arguments.output or default_name
+    if os.path.exists(path) and not arguments.force:
+        raise ReproError(f"output file {path!r} exists (use --force to overwrite)")
+    return open(path, "wb")
+
+
+def _cmd_analyze(data: bytes) -> int:
+    from .gz import iter_members
+    from .deflate import inflate
+    from .io import BitReader
+
+    print(f"{'member':>6} {'start':>12} {'deflate-bit':>12} {'size':>12} "
+          f"{'blocks':>7} {'types':>12}")
+    for number, (info, member_data) in enumerate(iter_members(data, verify=False)):
+        reader = BitReader(data)
+        reader.seek(info.deflate_start_bit)
+        result = inflate(reader)
+        type_names = {0: "stored", 1: "fixed", 2: "dynamic"}
+        counts: dict = {}
+        for boundary in result.boundaries:
+            counts[type_names[boundary.block_type]] = (
+                counts.get(type_names[boundary.block_type], 0) + 1
+            )
+        summary = ",".join(f"{k}:{v}" for k, v in sorted(counts.items()))
+        print(
+            f"{number:>6} {info.compressed_start:>12} {info.deflate_start_bit:>12} "
+            f"{info.uncompressed_size:>12} {len(result.boundaries):>7} {summary:>12}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        return _dispatch(arguments)
+    except ReproError as error:
+        print(f"rapidgzip-py: error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        return 141
+
+
+def _dispatch(arguments) -> int:
+    if arguments.compress:
+        data = _read_input(arguments.file)
+        if arguments.parallel_compress:
+            from .gz.parallel_writer import compress_parallel
+
+            blob = compress_parallel(
+                data,
+                parallelization=max(arguments.parallelization, 1),
+                level=arguments.level if arguments.level is not None else 6,
+                layout=arguments.layout,
+            )
+        else:
+            from .gz.writer import compress as gz_compress
+
+            blob = gz_compress(data, arguments.profile, level=arguments.level)
+        sink = _open_output(arguments, arguments.file + ".gz")
+        sink.write(blob)
+        if sink is not sys.stdout.buffer:
+            sink.close()
+        return 0
+
+    if arguments.recover:
+        from .recovery import recover_gzip
+
+        report = recover_gzip(_read_input(arguments.file))
+        sink = _open_output(arguments, arguments.file + ".recovered")
+        sink.write(report.data())
+        if sink is not sys.stdout.buffer:
+            sink.close()
+        print(
+            f"recovered {report.recovered_bytes} bytes in "
+            f"{len(report.segments)} segment(s); {report.unresolved_bytes} "
+            f"unresolved window bytes replaced",
+            file=sys.stderr,
+        )
+        return 0
+
+    if arguments.analyze:
+        return _cmd_analyze(_read_input(arguments.file))
+
+    from .index import GzipIndex
+    from .reader import ParallelGzipReader
+
+    index = None
+    if arguments.import_index:
+        index = GzipIndex.load(arguments.import_index)
+
+    source = _read_input(arguments.file) if arguments.file == "-" else arguments.file
+    reader = ParallelGzipReader(
+        source,
+        parallelization=max(arguments.parallelization, 1),
+        chunk_size=arguments.chunk_size * 1024,
+        verify=not arguments.no_verify,
+        index=index,
+    )
+    try:
+        if arguments.export_index:
+            reader.export_index(arguments.export_index)
+
+        if arguments.count:
+            print(reader.size())
+            return 0
+        if arguments.count_lines:
+            lines = 0
+            while True:
+                piece = reader.read(4 * 1024 * 1024)
+                if not piece:
+                    break
+                lines += piece.count(b"\n")
+            print(lines)
+            return 0
+        if arguments.export_index and not (
+            arguments.stdout or arguments.output or arguments.decompress
+        ):
+            return 0  # index-only invocation
+
+        default_name = (
+            arguments.file[:-3] if arguments.file.endswith(".gz") else
+            arguments.file + ".out"
+        )
+        sink = _open_output(arguments, default_name)
+        while True:
+            piece = reader.read(4 * 1024 * 1024)
+            if not piece:
+                break
+            sink.write(piece)
+        if sink is not sys.stdout.buffer:
+            sink.close()
+        if arguments.stats:
+            print(f"statistics: {reader.statistics()}", file=sys.stderr)
+        return 0
+    finally:
+        reader.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

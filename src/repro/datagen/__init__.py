@@ -1,0 +1,22 @@
+"""Workload generators for the paper's benchmark corpora."""
+
+from .base64_data import BASE64_EXPECTED_RATIO, generate_base64
+from .fastq import FASTQ_EXPECTED_RATIO, count_fastq_records, generate_fastq
+from .silesia import (
+    SILESIA_EXPECTED_RATIO,
+    generate_silesia_like,
+    silesia_members,
+)
+from .tar import build_tar
+
+__all__ = [
+    "BASE64_EXPECTED_RATIO",
+    "generate_base64",
+    "FASTQ_EXPECTED_RATIO",
+    "count_fastq_records",
+    "generate_fastq",
+    "SILESIA_EXPECTED_RATIO",
+    "generate_silesia_like",
+    "silesia_members",
+    "build_tar",
+]

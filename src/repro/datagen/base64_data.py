@@ -1,0 +1,38 @@
+"""Base64-encoded random data — the paper's primary weak-scaling workload.
+
+Properties the paper relies on (§4.4):
+
+* uniform compression ratio ~1.315 (64 symbols in 8-bit bytes: almost all
+  the gain comes from Huffman coding, 6/8 = 0.75 plus newlines),
+* very few LZ backward pointers, so markers die out after a few KiB and the
+  decoder falls back to single-stage decompression — making this a
+  benchmark of every component *except* marker replacement.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+__all__ = ["generate_base64", "BASE64_EXPECTED_RATIO"]
+
+#: Compression ratio the paper measured for this workload with pigz.
+BASE64_EXPECTED_RATIO = 1.315
+
+_LINE_WIDTH = 76  # classic base64 line wrapping
+
+
+def generate_base64(size: int, seed: int = 0) -> bytes:
+    """``size`` bytes of line-wrapped base64-encoded random data."""
+    if size <= 0:
+        return b""
+    rng = np.random.default_rng(seed)
+    # ceil(size * 3/4) raw random bytes give >= size base64 characters.
+    raw = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+    encoded = base64.b64encode(raw)
+    lines = [
+        encoded[start : start + _LINE_WIDTH]
+        for start in range(0, len(encoded), _LINE_WIDTH)
+    ]
+    return b"\n".join(lines)[:size]

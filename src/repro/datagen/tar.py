@@ -1,0 +1,22 @@
+"""In-memory TAR building for the ratarmount-style random access examples."""
+
+from __future__ import annotations
+
+import io
+import tarfile
+import time
+
+__all__ = ["build_tar"]
+
+
+def build_tar(members: dict, *, mtime: int = None) -> bytes:
+    """Build a TAR archive from ``{name: bytes}`` members, deterministically."""
+    sink = io.BytesIO()
+    stamp = 0 if mtime is None else mtime
+    with tarfile.open(fileobj=sink, mode="w", format=tarfile.USTAR_FORMAT) as archive:
+        for name, payload in members.items():
+            info = tarfile.TarInfo(name=name)
+            info.size = len(payload)
+            info.mtime = stamp
+            archive.addfile(info, io.BytesIO(payload))
+    return sink.getvalue()

@@ -1,0 +1,430 @@
+"""From-scratch Deflate compressor (RFC 1951, encoder side).
+
+Implements LZ77 matching with hash chains and lazy evaluation (the zlib
+strategy family), dynamic Huffman blocks with precode run-length encoding,
+plus fixed and stored block modes. The compressor exists so the test suite
+and the Table 3 benchmark can generate gzip files with *controlled block
+layout* — block size, block type, single-giant-block pathologies — which is
+exactly the property the paper shows drives parallel decompressability
+(§4.8). Output is cross-validated against stdlib zlib in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UsageError
+from ..huffman import package_merge_lengths, canonical_codes_from_lengths
+from ..huffman.precode import PRECODE_SYMBOL_ORDER
+from .constants import (
+    DISTANCE_EXTRA_BASE,
+    END_OF_BLOCK,
+    LENGTH_EXTRA_BASE,
+    MAX_MATCH_LENGTH,
+    MAX_WINDOW_SIZE,
+    MIN_MATCH_LENGTH,
+)
+
+__all__ = ["BitWriter", "CompressorOptions", "DeflateCompressor", "compress"]
+
+
+class BitWriter:
+    """LSB-first bit accumulator producing Deflate-packed bytes."""
+
+    def __init__(self):
+        self._output = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write(self, value: int, bits: int) -> None:
+        self._accumulator |= (value & ((1 << bits) - 1)) << self._bit_count
+        self._bit_count += bits
+        if self._bit_count >= 32:
+            self._output += (self._accumulator & 0xFFFFFFFF).to_bytes(4, "little")
+            self._accumulator >>= 32
+            self._bit_count -= 32
+
+    def write_huffman(self, code: int, bits: int) -> None:
+        """Write a Huffman code: MSB-first semantics, so bit-reverse it."""
+        reversed_code = 0
+        for _ in range(bits):
+            reversed_code = (reversed_code << 1) | (code & 1)
+            code >>= 1
+        self.write(reversed_code, bits)
+
+    def align_to_byte(self) -> None:
+        if self._bit_count % 8:
+            self.write(0, 8 - self._bit_count % 8)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Byte-aligned raw copy (stored block payloads)."""
+        if self._bit_count % 8:
+            raise UsageError("write_bytes requires byte alignment")
+        while self._bit_count:
+            self._output.append(self._accumulator & 0xFF)
+            self._accumulator >>= 8
+            self._bit_count -= 8
+        self._output += data
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._output) * 8 + self._bit_count
+
+    def getvalue(self) -> bytes:
+        out = bytearray(self._output)
+        accumulator, bits = self._accumulator, self._bit_count
+        while bits > 0:
+            out.append(accumulator & 0xFF)
+            accumulator >>= 8
+            bits -= 8
+        return bytes(out)
+
+
+# Precomputed symbol lookup tables (length -> code info, log2 bucketing for
+# distances) so the token emitters avoid linear scans.
+_LENGTH_SYMBOL = [None] * (MAX_MATCH_LENGTH + 1)
+for _code, (_extra, _base) in enumerate(LENGTH_EXTRA_BASE):
+    for _length in range(_base, min(_base + (1 << _extra), MAX_MATCH_LENGTH + 1)):
+        _LENGTH_SYMBOL[_length] = (257 + _code, _extra, _length - _base)
+_LENGTH_SYMBOL[MAX_MATCH_LENGTH] = (285, 0, 0)
+
+_DISTANCE_SYMBOL = [None] * (MAX_WINDOW_SIZE + 1)
+for _code, (_extra, _base) in enumerate(DISTANCE_EXTRA_BASE):
+    for _distance in range(_base, min(_base + (1 << _extra), MAX_WINDOW_SIZE + 1)):
+        _DISTANCE_SYMBOL[_distance] = (_code, _extra, _distance - _base)
+
+
+# zlib-style effort parameters per level: (good, lazy, nice, chain).
+_LEVEL_CONFIG = {
+    1: (4, 0, 8, 4),
+    2: (4, 0, 16, 8),
+    3: (4, 0, 32, 32),
+    4: (4, 4, 16, 16),
+    5: (8, 16, 32, 32),
+    6: (8, 16, 128, 128),
+    7: (8, 32, 128, 256),
+    8: (32, 128, 258, 1024),
+    9: (32, 258, 258, 4096),
+}
+
+
+@dataclass
+class CompressorOptions:
+    """Tuning and layout knobs for :class:`DeflateCompressor`.
+
+    ``block_size`` sets how many *uncompressed* bytes go into each Deflate
+    block — compressors differ wildly here (paper §4.8) and it directly
+    controls how much parallelism a decompressor can find.
+    """
+
+    level: int = 6
+    block_size: int = 64 * 1024
+    block_type: str = "dynamic"  # "dynamic" | "fixed" | "stored" | "auto"
+    huffman_only: bool = False  # disable LZ matching (igzip -0 style entropy-only)
+
+    def __post_init__(self):
+        if self.level < 0 or self.level > 9:
+            raise UsageError(f"level must be 0..9, got {self.level}")
+        if self.block_type not in ("dynamic", "fixed", "stored", "auto"):
+            raise UsageError(f"unknown block type {self.block_type!r}")
+        if self.block_size < 1:
+            raise UsageError("block_size must be positive")
+
+
+class DeflateCompressor:
+    """Stateful compressor producing one raw Deflate stream."""
+
+    def __init__(self, options: CompressorOptions = None):
+        self.options = options or CompressorOptions()
+
+    def compress(self, data: bytes) -> bytes:
+        writer = BitWriter()
+        self.compress_into(writer, data)
+        return writer.getvalue()
+
+    def compress_into(self, writer: BitWriter, data: bytes) -> None:
+        options = self.options
+        if options.level == 0 or options.block_type == "stored":
+            self._emit_stored(writer, data)
+            return
+        block_size = options.block_size
+        blocks = [
+            data[start : start + block_size]
+            for start in range(0, len(data), block_size)
+        ] or [b""]
+        for index, block in enumerate(blocks):
+            final = index == len(blocks) - 1
+            window_start = max(0, index * block_size - MAX_WINDOW_SIZE)
+            window = data[window_start : index * block_size]
+            tokens = self._tokenize(block, window)
+            if options.block_type == "fixed":
+                self._emit_fixed(writer, tokens, final)
+            else:
+                self._emit_dynamic(writer, tokens, final)
+
+    # -- LZ77 ------------------------------------------------------------------
+
+    def _tokenize(self, block: bytes, window: bytes) -> list:
+        """LZ77-parse ``block`` (with ``window`` context) into tokens.
+
+        Tokens are ints: 0–255 literals, or ``(length << 16) | distance``
+        packed match tokens (length >= 3 so the encodings cannot collide).
+        """
+        if self.options.huffman_only or len(block) < MIN_MATCH_LENGTH:
+            return list(block)
+
+        good, lazy_threshold, nice, max_chain = _LEVEL_CONFIG[self.options.level]
+        data = window + block
+        start = len(window)
+        size = len(data)
+        head: dict = {}
+        prev = [0] * size
+        tokens: list = []
+
+        # Pre-seed hash chains with window content so cross-block matches work.
+        for position in range(max(0, start - MAX_WINDOW_SIZE), start):
+            if position + MIN_MATCH_LENGTH <= size:
+                key = data[position : position + MIN_MATCH_LENGTH]
+                previous = head.get(key)
+                prev[position] = previous if previous is not None else -1
+                head[key] = position
+
+        position = start
+        pending_literal = -1  # position of a deferred literal (lazy matching)
+        pending_match = None
+
+        def find_match(at: int) -> tuple:
+            limit = min(MAX_MATCH_LENGTH, size - at)
+            if limit < MIN_MATCH_LENGTH:
+                return 0, 0
+            key = data[at : at + MIN_MATCH_LENGTH]
+            candidate = head.get(key, -1)
+            best_length, best_distance = 0, 0
+            chain = max_chain
+            floor = at - MAX_WINDOW_SIZE
+            while candidate >= 0 and candidate >= floor and chain > 0:
+                chain -= 1
+                length = 0
+                while (
+                    length < limit
+                    and data[candidate + length] == data[at + length]
+                ):
+                    length += 1
+                if length > best_length:
+                    best_length, best_distance = length, at - candidate
+                    if length >= nice:
+                        break
+                candidate = prev[candidate]
+            if best_length >= MIN_MATCH_LENGTH:
+                return best_length, best_distance
+            return 0, 0
+
+        def insert(at: int) -> None:
+            if at + MIN_MATCH_LENGTH <= size:
+                key = data[at : at + MIN_MATCH_LENGTH]
+                previous = head.get(key)
+                prev[at] = previous if previous is not None else -1
+                head[key] = at
+
+        while position < size:
+            length, distance = find_match(position)
+            if lazy_threshold and pending_match is None and 0 < length < lazy_threshold:
+                # Defer: maybe the match starting one byte later is longer.
+                pending_match = (length, distance)
+                pending_literal = position
+                insert(position)
+                position += 1
+                continue
+            if pending_match is not None:
+                previous_length, previous_distance = pending_match
+                pending_match = None
+                if length > previous_length:
+                    tokens.append(data[pending_literal])
+                    # Current (longer) match wins; fall through to emit it.
+                else:
+                    tokens.append((previous_length << 16) | previous_distance)
+                    # Skip the rest of the previous match (it started at
+                    # pending_literal; we already advanced one byte into it).
+                    skip_to = pending_literal + previous_length
+                    while position < skip_to:
+                        insert(position)
+                        position += 1
+                    continue
+            if length:
+                tokens.append((length << 16) | distance)
+                stop = position + length
+                while position < stop:
+                    insert(position)
+                    position += 1
+            else:
+                tokens.append(data[position])
+                insert(position)
+                position += 1
+
+        if pending_match is not None:
+            tokens.append((pending_match[0] << 16) | pending_match[1])
+        return tokens
+
+    # -- block emission ----------------------------------------------------------
+
+    def _emit_stored(self, writer: BitWriter, data: bytes) -> None:
+        limit = 65535
+        pieces = [data[i : i + limit] for i in range(0, len(data), limit)] or [b""]
+        for index, piece in enumerate(pieces):
+            final = index == len(pieces) - 1
+            writer.write(1 if final else 0, 1)
+            writer.write(0b00, 2)
+            writer.align_to_byte()
+            writer.write(len(piece), 16)
+            writer.write(~len(piece) & 0xFFFF, 16)
+            writer.write_bytes(piece)
+
+    def _emit_tokens(self, writer, tokens, literal_codes, literal_lengths,
+                     distance_codes, distance_lengths) -> None:
+        # Pre-reverse the Huffman codes once; the hot loop then only does
+        # plain LSB-first writes.
+        literal_emit = _reversed_code_table(literal_codes, literal_lengths)
+        distance_emit = _reversed_code_table(distance_codes, distance_lengths)
+        length_symbols = _LENGTH_SYMBOL
+        distance_symbols = _DISTANCE_SYMBOL
+        write = writer.write
+        for token in tokens:
+            if token < 65536:
+                write(*literal_emit[token])
+            else:
+                length, distance = token >> 16, token & 0xFFFF
+                symbol, extra, value = length_symbols[length]
+                write(*literal_emit[symbol])
+                if extra:
+                    write(value, extra)
+                symbol, extra, value = distance_symbols[distance]
+                write(*distance_emit[symbol])
+                if extra:
+                    write(value, extra)
+        write(*literal_emit[END_OF_BLOCK])
+
+    def _emit_fixed(self, writer: BitWriter, tokens: list, final: bool) -> None:
+        from ..huffman import FIXED_DISTANCE_LENGTHS, FIXED_LITERAL_LENGTHS
+
+        writer.write(1 if final else 0, 1)
+        writer.write(0b01, 2)
+        literal_codes = canonical_codes_from_lengths(FIXED_LITERAL_LENGTHS)
+        distance_codes = canonical_codes_from_lengths(FIXED_DISTANCE_LENGTHS)
+        self._emit_tokens(
+            writer, tokens, literal_codes, FIXED_LITERAL_LENGTHS,
+            distance_codes, FIXED_DISTANCE_LENGTHS,
+        )
+
+    def _emit_dynamic(self, writer: BitWriter, tokens: list, final: bool) -> None:
+        literal_freqs = [0] * 286
+        distance_freqs = [0] * 30
+        for token in tokens:
+            if token < 65536:
+                literal_freqs[token] += 1
+            else:
+                length, distance = token >> 16, token & 0xFFFF
+                literal_freqs[_LENGTH_SYMBOL[length][0]] += 1
+                distance_freqs[_DISTANCE_SYMBOL[distance][0]] += 1
+        literal_freqs[END_OF_BLOCK] += 1
+        # Guarantee a complete literal code (at least two used symbols): a
+        # phantom never-emitted symbol keeps degenerate blocks decodable by
+        # every inflater.
+        if sum(1 for freq in literal_freqs if freq) < 2:
+            literal_freqs[0 if END_OF_BLOCK != 0 else 1] += 1
+
+        literal_lengths = package_merge_lengths(literal_freqs, 15)
+        distance_lengths = package_merge_lengths(distance_freqs, 15)
+        literal_codes = canonical_codes_from_lengths(literal_lengths)
+        distance_codes = canonical_codes_from_lengths(distance_lengths)
+
+        num_literals = len(literal_lengths)
+        while num_literals > 257 and literal_lengths[num_literals - 1] == 0:
+            num_literals -= 1
+        num_distances = len(distance_lengths)
+        while num_distances > 1 and distance_lengths[num_distances - 1] == 0:
+            num_distances -= 1
+
+        code_length_sequence = (
+            literal_lengths[:num_literals] + distance_lengths[:num_distances]
+        )
+        precode_tokens = _run_length_encode(code_length_sequence)
+        precode_freqs = [0] * 19
+        for symbol, _extra_bits, _extra in precode_tokens:
+            precode_freqs[symbol] += 1
+        precode_lengths = package_merge_lengths(precode_freqs, 7)
+        precode_codes = canonical_codes_from_lengths(precode_lengths)
+
+        ordered = [precode_lengths[symbol] for symbol in PRECODE_SYMBOL_ORDER]
+        num_precode = len(ordered)
+        while num_precode > 4 and ordered[num_precode - 1] == 0:
+            num_precode -= 1
+
+        writer.write(1 if final else 0, 1)
+        writer.write(0b10, 2)
+        writer.write(num_literals - 257, 5)
+        writer.write(num_distances - 1, 5)
+        writer.write(num_precode - 4, 4)
+        for length in ordered[:num_precode]:
+            writer.write(length, 3)
+        for symbol, extra_bits, extra in precode_tokens:
+            writer.write_huffman(precode_codes[symbol], precode_lengths[symbol])
+            if extra_bits:
+                writer.write(extra, extra_bits)
+
+        self._emit_tokens(
+            writer, tokens, literal_codes, literal_lengths,
+            distance_codes, distance_lengths,
+        )
+
+
+def _reversed_code_table(codes: list, lengths: list) -> list:
+    """Per-symbol ``(bit-reversed code, length)`` pairs for fast emission."""
+    table = []
+    for code, length in zip(codes, lengths):
+        if code is None:
+            table.append((0, 0))
+        else:
+            reversed_code = 0
+            for _ in range(length):
+                reversed_code = (reversed_code << 1) | (code & 1)
+                code >>= 1
+            table.append((reversed_code, length))
+    return table
+
+
+def _run_length_encode(code_lengths: list) -> list:
+    """RFC 1951 §3.2.7 precode RLE: symbols 16 (repeat), 17/18 (zeros)."""
+    tokens = []
+    index = 0
+    total = len(code_lengths)
+    while index < total:
+        value = code_lengths[index]
+        run = 1
+        while index + run < total and code_lengths[index + run] == value:
+            run += 1
+        if value == 0:
+            remaining = run
+            while remaining >= 11:
+                take = min(remaining, 138)
+                tokens.append((18, 7, take - 11))
+                remaining -= take
+            while remaining >= 3:
+                take = min(remaining, 10)
+                tokens.append((17, 3, take - 3))
+                remaining -= take
+            tokens.extend([(0, 0, 0)] * remaining)
+        else:
+            tokens.append((value, 0, 0))
+            remaining = run - 1
+            while remaining >= 3:
+                take = min(remaining, 6)
+                tokens.append((16, 2, take - 3))
+                remaining -= take
+            tokens.extend([(value, 0, 0)] * remaining)
+        index += run
+    return tokens
+
+
+def compress(data: bytes, options: CompressorOptions = None) -> bytes:
+    """One-shot raw Deflate compression."""
+    return DeflateCompressor(options).compress(data)

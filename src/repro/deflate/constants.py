@@ -1,0 +1,84 @@
+"""Deflate stream constants (RFC 1951 §3.2.5–3.2.7)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BLOCK_TYPE_STORED",
+    "BLOCK_TYPE_FIXED",
+    "BLOCK_TYPE_DYNAMIC",
+    "BLOCK_TYPE_RESERVED",
+    "END_OF_BLOCK",
+    "MAX_LITERAL_SYMBOL",
+    "MAX_DISTANCE_SYMBOL",
+    "MAX_WINDOW_SIZE",
+    "MAX_MATCH_LENGTH",
+    "MIN_MATCH_LENGTH",
+    "LENGTH_EXTRA_BASE",
+    "DISTANCE_EXTRA_BASE",
+    "MARKER_FLAG",
+    "length_to_symbol",
+    "distance_to_symbol",
+]
+
+BLOCK_TYPE_STORED = 0
+BLOCK_TYPE_FIXED = 1
+BLOCK_TYPE_DYNAMIC = 2
+BLOCK_TYPE_RESERVED = 3
+
+END_OF_BLOCK = 256
+MAX_LITERAL_SYMBOL = 285  # highest length code
+MAX_DISTANCE_SYMBOL = 29  # codes 30/31 are reserved
+MAX_WINDOW_SIZE = 32 * 1024
+MIN_MATCH_LENGTH = 3
+MAX_MATCH_LENGTH = 258
+
+#: Two-stage decoding emits 16-bit symbols; values with this flag set mark
+#: "byte at window offset (value & 0x7FFF)" (paper §2.2).
+MARKER_FLAG = 0x8000
+
+# Length codes 257..285 -> (extra bits, base length). RFC 1951 §3.2.5.
+LENGTH_EXTRA_BASE = (
+    (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10),
+    (1, 11), (1, 13), (1, 15), (1, 17),
+    (2, 19), (2, 23), (2, 27), (2, 31),
+    (3, 35), (3, 43), (3, 51), (3, 59),
+    (4, 67), (4, 83), (4, 99), (4, 115),
+    (5, 131), (5, 163), (5, 195), (5, 227),
+    (0, 258),
+)
+
+# Distance codes 0..29 -> (extra bits, base distance).
+DISTANCE_EXTRA_BASE = (
+    (0, 1), (0, 2), (0, 3), (0, 4),
+    (1, 5), (1, 7),
+    (2, 9), (2, 13),
+    (3, 17), (3, 25),
+    (4, 33), (4, 49),
+    (5, 65), (5, 97),
+    (6, 129), (6, 193),
+    (7, 257), (7, 385),
+    (8, 513), (8, 769),
+    (9, 1025), (9, 1537),
+    (10, 2049), (10, 3073),
+    (11, 4097), (11, 6145),
+    (12, 8193), (12, 12289),
+    (13, 16385), (13, 24577),
+)
+
+
+def length_to_symbol(length: int) -> tuple:
+    """Map a match length (3..258) to ``(symbol, extra_bits, extra_value)``."""
+    if length == MAX_MATCH_LENGTH:
+        return 285, 0, 0
+    for symbol, (extra, base) in enumerate(LENGTH_EXTRA_BASE[:-1]):
+        if base <= length < base + (1 << extra):
+            return 257 + symbol, extra, length - base
+    raise ValueError(f"match length {length} out of range")
+
+
+def distance_to_symbol(distance: int) -> tuple:
+    """Map a match distance (1..32768) to ``(symbol, extra_bits, extra_value)``."""
+    for symbol, (extra, base) in enumerate(DISTANCE_EXTRA_BASE):
+        if base <= distance < base + (1 << extra):
+            return symbol, extra, distance - base
+    raise ValueError(f"distance {distance} out of range")

@@ -1,0 +1,193 @@
+"""Deflate stream drivers: conventional inflate and the two-stage decoder.
+
+:func:`inflate` is the plain single-pass decoder (used by the serial
+reference path and wherever the window is known). :class:`TwoStageStreamDecoder`
+is the chunk decoder's engine: it decodes block after block into the marker
+intermediate format, falls back to conventional byte decoding as soon as the
+trailing 32 KiB window is marker-free (paper §3.3), and streams finished
+regions out into a :class:`~repro.deflate.markers.ChunkPayload` to bound
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeflateError
+from ..io import BitReader, ensure_file_reader
+from .block import (
+    BlockHeader,
+    decode_block_into_bytearray,
+    decode_block_two_stage,
+    read_block_header,
+)
+from .constants import MAX_WINDOW_SIZE
+from .markers import ChunkPayload, seed_marker_window
+
+__all__ = ["inflate", "InflateResult", "BlockBoundary", "TwoStageStreamDecoder"]
+
+#: Flush the in-progress buffer into the payload once it exceeds this size;
+#: only the last 32 KiB must stay addressable for backward references.
+_FLUSH_THRESHOLD = 256 * 1024
+
+
+@dataclass
+class BlockBoundary:
+    """Start of a Deflate block inside a decoded region."""
+
+    bit_offset: int
+    output_offset: int
+    block_type: int
+    is_final: bool
+
+
+@dataclass
+class InflateResult:
+    data: bytes
+    end_bit_offset: int
+    boundaries: list
+
+
+def inflate(source, window: bytes = b"", max_size: int = None) -> InflateResult:
+    """Decode one complete Deflate stream conventionally.
+
+    ``source`` may be raw bytes, a file reader, or a positioned
+    :class:`BitReader` (which will be read from its current offset —
+    this is how the gzip layer resumes after a stream header).
+    """
+    reader = source if isinstance(source, BitReader) else BitReader(ensure_file_reader(source))
+    buffer = bytearray(window[-MAX_WINDOW_SIZE:])
+    seed = len(buffer)
+    boundaries = []
+    limit = None if max_size is None else max_size + seed
+    while True:
+        header = read_block_header(reader)
+        boundaries.append(
+            BlockBoundary(header.start_bit_offset, len(buffer) - seed,
+                          header.block_type, header.final)
+        )
+        decode_block_into_bytearray(reader, header, buffer, max_size=limit)
+        if header.final:
+            break
+    return InflateResult(bytes(buffer[seed:]), reader.tell(), boundaries)
+
+
+class TwoStageStreamDecoder:
+    """Block-by-block decoder feeding a :class:`ChunkPayload`.
+
+    With ``window=None`` it starts in first-stage (marker) mode; with a
+    known window it decodes conventionally from the start. Marker mode
+    tracks a conservative bound on the last buffer index that may hold a
+    marker; once a whole window-length of marker-free output exists at a
+    block boundary, decoding *falls back* to the faster conventional mode —
+    the optimization the paper credits for base64 data behaving like
+    single-stage decompression (§4.4).
+    """
+
+    def __init__(self, window: bytes = None, max_size: int = None):
+        self.payload = ChunkPayload()
+        self.boundaries: list = []
+        self._max_size = max_size
+        self._emitted = 0
+        if window is None:
+            self._list_buffer = seed_marker_window()
+            self._byte_buffer = None
+            self._seed_length = MAX_WINDOW_SIZE
+            self._last_marker_end = MAX_WINDOW_SIZE
+        else:
+            self._list_buffer = None
+            self._byte_buffer = bytearray(window[-MAX_WINDOW_SIZE:])
+            self._seed_length = len(self._byte_buffer)
+
+    @property
+    def in_marker_mode(self) -> bool:
+        return self._list_buffer is not None
+
+    @property
+    def produced(self) -> int:
+        buffer = self._list_buffer if self._list_buffer is not None else self._byte_buffer
+        return self._emitted + len(buffer) - self._seed_length
+
+    def _check_size(self) -> None:
+        if self._max_size is not None and self.produced > self._max_size:
+            raise DeflateError("decoded chunk exceeds configured maximum size")
+
+    def decode_block(self, reader, header: BlockHeader) -> None:
+        """Decode one block whose header was already parsed."""
+        self.boundaries.append(
+            BlockBoundary(header.start_bit_offset, self.produced,
+                          header.block_type, header.final)
+        )
+        if self._list_buffer is not None:
+            self._last_marker_end = decode_block_two_stage(
+                reader, header, self._list_buffer, self._last_marker_end
+            )
+            self._check_size()
+            self._maybe_fall_back()
+            if self._list_buffer is not None and len(self._list_buffer) > _FLUSH_THRESHOLD:
+                self._flush_list(keep=MAX_WINDOW_SIZE)
+        else:
+            decode_block_into_bytearray(reader, header, self._byte_buffer)
+            self._check_size()
+            if len(self._byte_buffer) > _FLUSH_THRESHOLD:
+                self._flush_bytes(keep=MAX_WINDOW_SIZE)
+
+    def read_and_decode_block(self, reader) -> BlockHeader:
+        """Parse the next header and decode its payload; returns the header."""
+        header = read_block_header(reader)
+        self.decode_block(reader, header)
+        return header
+
+    # -- internal buffer management -------------------------------------------
+
+    def _flush_list(self, keep: int) -> None:
+        buffer = self._list_buffer
+        cut = len(buffer) - keep
+        if cut <= self._seed_length:
+            return
+        self.payload.append_symbols(buffer[self._seed_length : cut])
+        self._emitted += cut - self._seed_length
+        self._list_buffer = buffer[cut:]
+        self._seed_length = 0
+        self._last_marker_end = max(0, self._last_marker_end - cut)
+
+    def _flush_bytes(self, keep: int) -> None:
+        buffer = self._byte_buffer
+        cut = len(buffer) - keep
+        if cut <= self._seed_length:
+            return
+        self.payload.append_bytes(bytes(buffer[self._seed_length : cut]))
+        self._emitted += cut - self._seed_length
+        self._byte_buffer = buffer[cut:]
+        self._seed_length = 0
+
+    def _maybe_fall_back(self) -> None:
+        """Switch to conventional decoding once the window is marker-free."""
+        buffer = self._list_buffer
+        if len(buffer) - self._last_marker_end < MAX_WINDOW_SIZE:
+            return
+        window_values = buffer[-MAX_WINDOW_SIZE:]
+        cut = len(buffer) - MAX_WINDOW_SIZE
+        if cut > self._seed_length:
+            self.payload.append_symbols(buffer[self._seed_length : cut])
+            self._emitted += cut - self._seed_length
+        self._list_buffer = None
+        # The carried tail is resolved but *unemitted* output (not window
+        # seed), so seed_length is 0: it still reaches the payload at the
+        # next flush or finish.
+        self._byte_buffer = bytearray(window_values)
+        self._seed_length = 0
+
+    def finish(self) -> ChunkPayload:
+        """Flush everything and return the completed payload."""
+        if self._list_buffer is not None:
+            self.payload.append_symbols(self._list_buffer[self._seed_length :])
+            self._emitted += len(self._list_buffer) - self._seed_length
+            self._list_buffer = []
+            self._seed_length = 0
+        else:
+            self.payload.append_bytes(bytes(self._byte_buffer[self._seed_length :]))
+            self._emitted += len(self._byte_buffer) - self._seed_length
+            self._byte_buffer = bytearray()
+            self._seed_length = 0
+        return self.payload

@@ -1,0 +1,137 @@
+"""Marker symbols and the two-stage intermediate format (paper §2.2).
+
+First-stage decoding of a chunk whose preceding window is unknown fills the
+window with 15-bit markers: symbol ``MARKER_FLAG | w`` stands for "the byte
+at offset *w* of the (future) 32 KiB window preceding this chunk". Because
+markers are copied around *by value*, every marker in a chunk's output
+always refers to that one chunk-start window — a single replacement pass
+resolves all of them once the window is known.
+
+Replacement is a vectorized NumPy gather; the paper measures it at 1254
+MB/s, an order of magnitude faster than Deflate decoding (Table 2), which is
+what makes the second stage cheap and the sequential window propagation the
+only Amdahl term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import UsageError
+from .constants import MARKER_FLAG, MAX_WINDOW_SIZE
+
+__all__ = [
+    "seed_marker_window",
+    "replace_markers",
+    "segment_has_markers",
+    "ChunkPayload",
+    "pad_window",
+]
+
+
+def seed_marker_window() -> list:
+    """The 32 Ki marker symbols that stand in for an unknown window."""
+    return list(range(MARKER_FLAG, MARKER_FLAG + MAX_WINDOW_SIZE))
+
+
+def pad_window(window: bytes) -> bytes:
+    """Left-pad (or trim) a window to exactly :data:`MAX_WINDOW_SIZE` bytes.
+
+    Chunks closer than 32 KiB to the stream start have a short real window;
+    markers beyond it can never be produced by a valid stream, so zero
+    padding is safe.
+    """
+    if len(window) >= MAX_WINDOW_SIZE:
+        return bytes(window[-MAX_WINDOW_SIZE:])
+    return bytes(MAX_WINDOW_SIZE - len(window)) + bytes(window)
+
+
+def replace_markers(segment: np.ndarray, window: bytes) -> bytes:
+    """Resolve every marker in a uint16 segment against ``window``.
+
+    ``window`` must be exactly 32 KiB (use :func:`pad_window`). This is the
+    second decompression stage: a vectorized gather
+    ``out[i] = window[segment[i] & 0x7FFF] if segment[i] & 0x8000 else segment[i]``.
+    """
+    if len(window) != MAX_WINDOW_SIZE:
+        raise UsageError(f"window must be {MAX_WINDOW_SIZE} bytes, got {len(window)}")
+    window_array = np.frombuffer(window, dtype=np.uint8)
+    is_marker = segment >= MARKER_FLAG
+    offsets = segment & (MARKER_FLAG - 1)
+    resolved = np.where(
+        is_marker, window_array[offsets], segment.astype(np.uint16)
+    ).astype(np.uint8)
+    return resolved.tobytes()
+
+
+def segment_has_markers(segment: np.ndarray) -> bool:
+    return bool((segment >= MARKER_FLAG).any())
+
+
+@dataclass
+class ChunkPayload:
+    """Decoded chunk contents in the two-stage intermediate format.
+
+    ``segments`` is an ordered mix of ``bytes`` (fully resolved — stored
+    blocks and post-fallback conventional output) and ``numpy.uint16``
+    arrays (first-stage output that may contain markers). Marker offsets in
+    *every* segment refer to the single window at the chunk start.
+    """
+
+    segments: list = field(default_factory=list)
+    length: int = 0
+
+    def append_bytes(self, data: bytes) -> None:
+        if data:
+            self.segments.append(bytes(data))
+            self.length += len(data)
+
+    def append_symbols(self, symbols: list) -> None:
+        if symbols:
+            self.segments.append(np.asarray(symbols, dtype=np.uint16))
+            self.length += len(symbols)
+
+    @property
+    def has_markers(self) -> bool:
+        return any(
+            isinstance(segment, np.ndarray) and segment_has_markers(segment)
+            for segment in self.segments
+        )
+
+    def materialize(self, window: bytes = b"") -> bytes:
+        """Resolve all markers against the chunk-start ``window`` (stage 2)."""
+        padded = pad_window(window)
+        pieces = []
+        for segment in self.segments:
+            if isinstance(segment, np.ndarray):
+                pieces.append(replace_markers(segment, padded))
+            else:
+                pieces.append(segment)
+        return b"".join(pieces)
+
+    def window_at_end(self, window: bytes = b"") -> bytes:
+        """The resolved final 32 KiB — the next chunk's window (stage-2 tail).
+
+        Only the trailing :data:`MAX_WINDOW_SIZE` symbols are touched; this
+        is the sequential propagation step whose cost the paper bounds at
+        1/128 of full replacement for 4 MiB chunks (§2.2).
+        """
+        padded = pad_window(window)
+        pieces = []
+        needed = MAX_WINDOW_SIZE
+        for segment in reversed(self.segments):
+            if needed <= 0:
+                break
+            tail = segment[-needed:]
+            if isinstance(tail, np.ndarray):
+                pieces.append(replace_markers(tail, padded))
+            else:
+                pieces.append(bytes(tail))
+            needed -= len(tail)
+        combined = b"".join(reversed(pieces))
+        if len(combined) < MAX_WINDOW_SIZE:
+            # Short chunk: older window bytes shift in from the left.
+            combined = (padded + combined)[-MAX_WINDOW_SIZE:]
+        return combined

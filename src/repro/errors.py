@@ -1,0 +1,53 @@
+"""Exception hierarchy for the rapidgzip reproduction.
+
+The decoder distinguishes *format* errors (the bits do not form a valid
+Deflate/gzip structure — expected and frequent while the block finder probes
+candidate offsets) from *usage* errors and *integrity* errors (a structurally
+valid stream whose checksum or length trailer does not match).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class FormatError(ReproError):
+    """The input bits do not form a valid gzip/Deflate structure.
+
+    Raised (and caught) heavily during speculative decoding: a block-finder
+    candidate that turns out to be a false positive surfaces as a
+    ``FormatError`` from the Deflate parser.
+    """
+
+
+class GzipHeaderError(FormatError):
+    """Invalid or unsupported gzip stream header."""
+
+
+class DeflateError(FormatError):
+    """Invalid Deflate block structure or compressed payload."""
+
+
+class HuffmanError(DeflateError):
+    """Code lengths do not define a valid (or efficient) Huffman code."""
+
+
+class IntegrityError(ReproError):
+    """Decompressed data does not match the stream's CRC-32 or ISIZE."""
+
+
+class TruncatedError(FormatError):
+    """The input ended in the middle of a structure."""
+
+    def __init__(self, message: str = "unexpected end of input"):
+        super().__init__(message)
+
+
+class UsageError(ReproError):
+    """The public API was used incorrectly (bad arguments, closed reader)."""
+
+
+class RecoveryError(ReproError):
+    """Corrupted-file recovery could not locate any decodable region."""

@@ -1,0 +1,27 @@
+"""Chunk fetching: decode tasks, chunk chain, cache-and-prefetch engine."""
+
+from .block_map import BlockMap, ChunkRecord
+from .decode import (
+    ChunkResult,
+    StreamEvent,
+    decode_bgzf_members,
+    decode_chunk_range,
+    shift_to_byte_alignment,
+    speculative_decode,
+    zlib_decode_range,
+)
+from .gzip_chunk_fetcher import DEFAULT_CHUNK_SIZE, GzipChunkFetcher
+
+__all__ = [
+    "BlockMap",
+    "ChunkRecord",
+    "ChunkResult",
+    "StreamEvent",
+    "decode_bgzf_members",
+    "decode_chunk_range",
+    "shift_to_byte_alignment",
+    "speculative_decode",
+    "zlib_decode_range",
+    "DEFAULT_CHUNK_SIZE",
+    "GzipChunkFetcher",
+]

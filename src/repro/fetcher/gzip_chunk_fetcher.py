@@ -1,0 +1,316 @@
+"""The cache-and-prefetch chunk fetcher (paper §3.1–§3.4, Fig. 4/5).
+
+Orchestrates a thread pool, a prefetch cache, an access cache, a prefetch
+strategy, and the chunk-id <-> offset database. Three operating modes,
+chosen at construction:
+
+* ``search`` — no index: speculative tasks run the block finder over fixed
+  compressed-size chunk windows and two-stage-decode from the first
+  workable candidate. False positives land in the cache under offsets
+  nobody requests and age out; the consumer's *exact* request (previous
+  chunk's end offset) either hits a speculative result or triggers an
+  on-demand decode at top priority.
+* ``index`` — a finalized seek-point index is loaded: chunks are the index
+  intervals, workers delegate to zlib with the stored window (fast path,
+  balanced workloads, bounded memory — §3.3).
+* ``bgzf`` — the file is BGZF: member offsets come from header metadata and
+  members decode independently (§3.4.4).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..cache import FetchNextAdaptive, LRUCache
+from ..errors import FormatError, UsageError
+from ..gz.bgzf import bgzf_block_offsets, is_bgzf
+from ..io import ensure_file_reader
+from ..pool import PRIORITY_PREFETCH, ThreadPool
+from .decode import (
+    ChunkResult,
+    decode_bgzf_members,
+    decode_chunk_range,
+    speculative_decode,
+    zlib_decode_range,
+)
+
+__all__ = ["GzipChunkFetcher", "DEFAULT_CHUNK_SIZE"]
+
+#: Default compressed chunk size (paper default: 4 MiB).
+DEFAULT_CHUNK_SIZE = 4 * 1024 * 1024
+
+
+class GzipChunkFetcher:
+    """Parallel, speculatively prefetching chunk source for one gzip file."""
+
+    def __init__(
+        self,
+        source,
+        *,
+        parallelization: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        strategy=None,
+        find_uncompressed: bool = True,
+        max_chunk_output: int = None,
+        index=None,
+        prefetch_cache_size: int = None,
+        detect_bgzf: bool = True,
+    ):
+        if parallelization < 1:
+            raise UsageError("parallelization must be at least 1")
+        if chunk_size < 1024:
+            raise UsageError("chunk_size must be at least 1 KiB")
+        self.file_reader = ensure_file_reader(source)
+        self.parallelization = parallelization
+        self.chunk_size = chunk_size
+        self.strategy = strategy or FetchNextAdaptive()
+        self.find_uncompressed = find_uncompressed
+        self.max_chunk_output = max_chunk_output
+
+        self.pool = ThreadPool(parallelization)
+        capacity = prefetch_cache_size or max(2 * parallelization, 2)
+        self.prefetch_cache = LRUCache(capacity)
+        self.access_cache = LRUCache(max(parallelization // 4, 1))
+        self._futures: dict = {}  # chunk id -> Future[ChunkResult | None]
+        self._id_of_key: dict = {}  # cached start_bit -> chunk id
+        self._no_candidate: set = set()  # chunk ids with nothing decodable
+        self._history: list = []  # recently accessed chunk ids
+        self._lock = threading.RLock()
+
+        # Statistics for the evaluation harness.
+        self.speculative_submitted = 0
+        self.speculative_unusable = 0
+        self.on_demand_decodes = 0
+
+        self._index = None
+        self._bgzf_groups = None
+        if index is not None and getattr(index, "finalized", False) and len(index):
+            self._index = index
+            self.mode = "index"
+            self._key_to_id = {
+                point.compressed_bit_offset: i for i, point in enumerate(index)
+            }
+        elif detect_bgzf and is_bgzf(self.file_reader):
+            self._bgzf_groups = self._build_bgzf_groups()
+            self.mode = "bgzf"
+            self._key_to_id = {
+                group[0][0] * 8: i for i, group in enumerate(self._bgzf_groups)
+            }
+        else:
+            self.mode = "search"
+
+    # -- chunk-id database (offsets <-> indexes, paper §3.2) --------------------
+
+    def _build_bgzf_groups(self) -> list:
+        """Group BGZF members into ~chunk_size work units: (offsets, end)."""
+        offsets = bgzf_block_offsets(self.file_reader)
+        size = self.file_reader.size()
+        groups = []
+        current: list = []
+        group_start = 0
+        for index, offset in enumerate(offsets):
+            if not current:
+                group_start = offset
+            current.append(offset)
+            end = offsets[index + 1] if index + 1 < len(offsets) else size
+            if end - group_start >= self.chunk_size or index == len(offsets) - 1:
+                groups.append((current, end))
+                current = []
+        return groups
+
+    def initial_chunk(self):
+        """Where the reader's chunk chain must start, or None for search
+        mode (the caller parses the first gzip header itself)."""
+        if self.mode == "index":
+            point = self._index[0]
+            return (point.compressed_bit_offset, point.window, point.is_stream_start)
+        if self.mode == "bgzf":
+            return (self._bgzf_groups[0][0][0] * 8, b"", True)
+        return None
+
+    def chunk_id_for_bit(self, start_bit: int) -> int:
+        if self.mode == "search":
+            return start_bit // (self.chunk_size * 8)
+        identifier = self._key_to_id.get(start_bit)
+        if identifier is None:
+            raise UsageError(f"bit offset {start_bit} is not a chunk boundary")
+        return identifier
+
+    @property
+    def num_chunk_ids(self) -> int:
+        if self.mode == "search":
+            return (self.file_reader.size() * 8 + self.chunk_size * 8 - 1) // (
+                self.chunk_size * 8
+            )
+        if self.mode == "index":
+            return len(self._index)
+        return len(self._bgzf_groups)
+
+    # -- task bodies -------------------------------------------------------------
+
+    def _task_for_id(self, chunk_id: int):
+        if self.mode == "search":
+            return speculative_decode(
+                self.file_reader,
+                chunk_id,
+                self.chunk_size,
+                find_uncompressed=self.find_uncompressed,
+                max_output=self.max_chunk_output,
+            )
+        if self.mode == "index":
+            return self._decode_index_chunk(chunk_id)
+        members, end = self._bgzf_groups[chunk_id]
+        return decode_bgzf_members(self.file_reader, members, end)
+
+    def _decode_index_chunk(self, chunk_id: int) -> ChunkResult:
+        point = self._index[chunk_id]
+        if chunk_id + 1 < len(self._index):
+            next_point = self._index[chunk_id + 1]
+            end_bit = next_point.compressed_bit_offset
+            expected = next_point.uncompressed_offset - point.uncompressed_offset
+        else:
+            end_bit = self._index.compressed_size_bits
+            expected = self._index.uncompressed_size - point.uncompressed_offset
+        try:
+            result = zlib_decode_range(
+                self.file_reader,
+                point.compressed_bit_offset,
+                end_bit,
+                point.window,
+                expected_size=expected,
+            )
+        except FormatError:
+            # Streams the shifted-buffer zlib path cannot cleanly cut (e.g.
+            # member boundaries flush-aligned oddly) fall back to our decoder.
+            result = decode_chunk_range(
+                self.file_reader,
+                point.compressed_bit_offset,
+                end_bit,
+                point.window,
+                max_output=self.max_chunk_output,
+            )
+        result.end_bit = end_bit if chunk_id + 1 < len(self._index) else None
+        return result
+
+    # -- cache plumbing ------------------------------------------------------------
+
+    def _harvest(self) -> None:
+        """Move completed speculative futures into the prefetch cache."""
+        with self._lock:
+            finished = [
+                (chunk_id, future)
+                for chunk_id, future in self._futures.items()
+                if future.done()
+            ]
+            for chunk_id, future in finished:
+                del self._futures[chunk_id]
+                try:
+                    result = future.result()
+                except FormatError:
+                    result = None
+                if result is None:
+                    self._no_candidate.add(chunk_id)
+                    self.speculative_unusable += 1
+                    continue
+                self.prefetch_cache.insert(result.start_bit, result)
+                self._id_of_key[result.start_bit] = chunk_id
+
+    def _submit(self, chunk_id: int) -> None:
+        with self._lock:
+            if (
+                chunk_id in self._futures
+                or chunk_id in self._no_candidate
+                or chunk_id < 0
+                or chunk_id >= self.num_chunk_ids
+            ):
+                return
+            self.speculative_submitted += 1
+            self._futures[chunk_id] = self.pool.submit(
+                self._task_for_id, chunk_id, priority=PRIORITY_PREFETCH
+            )
+
+    def _trigger_prefetch(self, accessed_id: int) -> None:
+        self._history.append(accessed_id)
+        if len(self._history) > 64:
+            del self._history[:-64]
+        wishes = self.strategy.prefetch(self._history, self.parallelization)
+        for wish in wishes:
+            cached_key = None
+            for key, known_id in self._id_of_key.items():
+                if known_id == wish:
+                    cached_key = key
+                    break
+            if cached_key is not None and (
+                cached_key in self.prefetch_cache or cached_key in self.access_cache
+            ):
+                continue
+            self._submit(wish)
+
+    # -- public API -----------------------------------------------------------------
+
+    def request(self, start_bit: int, window: bytes) -> ChunkResult:
+        """Return the chunk starting exactly at ``start_bit``.
+
+        ``window`` is the known 32 KiB preceding the chunk (``b""`` at
+        stream starts) — used only when an on-demand decode is needed;
+        cached speculative results keep their markers and are materialized
+        by the caller.
+
+        Every access triggers the prefetcher, cache hit or not (§3.1).
+        """
+        chunk_id = self.chunk_id_for_bit(start_bit)
+        result = self.access_cache.get(start_bit)
+        if result is None:
+            self._harvest()
+            result = self.prefetch_cache.get(start_bit)
+            if result is not None:
+                self.access_cache.insert(start_bit, result)
+        if result is None:
+            # An in-flight speculative task may be about to produce it.
+            future = self._futures.get(chunk_id)
+            if future is not None:
+                future.result()
+                self._harvest()
+                result = self.prefetch_cache.get(start_bit)
+                if result is not None:
+                    self.access_cache.insert(start_bit, result)
+        if result is None:
+            result = self._decode_on_demand(start_bit, chunk_id, window)
+            self.access_cache.insert(start_bit, result)
+            self._id_of_key[start_bit] = chunk_id
+        self._trigger_prefetch(chunk_id)
+        return result
+
+    def _decode_on_demand(self, start_bit: int, chunk_id: int, window: bytes):
+        self.on_demand_decodes += 1
+        if self.mode == "search":
+            stop_bit = (chunk_id + 1) * self.chunk_size * 8
+            return decode_chunk_range(
+                self.file_reader,
+                start_bit,
+                stop_bit,
+                window,
+                max_output=self.max_chunk_output,
+            )
+        return self._task_for_id(chunk_id)
+
+    def statistics(self) -> dict:
+        return {
+            "mode": self.mode,
+            "prefetch_cache": self.prefetch_cache.statistics,
+            "access_cache": self.access_cache.statistics,
+            "speculative_submitted": self.speculative_submitted,
+            "speculative_unusable": self.speculative_unusable,
+            "on_demand_decodes": self.on_demand_decodes,
+            "pool_tasks": self.pool.tasks_submitted,
+        }
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True)
+        self.file_reader.close()
+
+    def __enter__(self) -> "GzipChunkFetcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

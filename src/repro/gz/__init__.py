@@ -1,0 +1,48 @@
+"""Gzip container layer: headers, CRC-32, serial reference decoder, writers."""
+
+from .crc32 import crc32, crc32_combine, fast_crc32
+from .header import (
+    GzipFooter,
+    GzipHeader,
+    MAGIC,
+    parse_gzip_footer,
+    parse_gzip_header,
+    serialize_gzip_footer,
+    serialize_gzip_header,
+)
+from .stream import MemberInfo, count_streams, decompress, iter_members
+
+__all__ = [
+    "crc32",
+    "crc32_combine",
+    "fast_crc32",
+    "GzipFooter",
+    "GzipHeader",
+    "MAGIC",
+    "parse_gzip_footer",
+    "parse_gzip_header",
+    "serialize_gzip_footer",
+    "serialize_gzip_header",
+    "MemberInfo",
+    "count_streams",
+    "decompress",
+    "iter_members",
+    "GzipWriter",
+    "CompressionProfile",
+]
+
+
+def __getattr__(name):
+    if name in ("GzipWriter", "CompressionProfile", "compress"):
+        from . import writer
+
+        return getattr(writer, name)
+    if name in ("BgzfWriter", "is_bgzf", "bgzf_block_offsets"):
+        from . import bgzf
+
+        return getattr(bgzf, name)
+    if name in ("ParallelGzipWriter", "compress_parallel"):
+        from . import parallel_writer
+
+        return getattr(parallel_writer, name)
+    raise AttributeError(f"module 'repro.gz' has no attribute {name!r}")

@@ -1,0 +1,190 @@
+"""Gzip stream header and footer parsing/serialization (RFC 1952).
+
+Header parsing operates on a byte-aligned :class:`~repro.io.BitReader` so
+that the chunk decoder can interleave Deflate decoding with stream-boundary
+handling in multi-stream files (paper §1.3: "gzip files with more than one
+gzip stream are supported").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GzipHeaderError, TruncatedError
+from .crc32 import fast_crc32
+
+__all__ = [
+    "GzipHeader",
+    "GzipFooter",
+    "MAGIC",
+    "parse_gzip_header",
+    "parse_gzip_footer",
+    "serialize_gzip_header",
+    "serialize_gzip_footer",
+    "FTEXT",
+    "FHCRC",
+    "FEXTRA",
+    "FNAME",
+    "FCOMMENT",
+]
+
+MAGIC = b"\x1f\x8b"
+_CM_DEFLATE = 8
+
+FTEXT = 0x01
+FHCRC = 0x02
+FEXTRA = 0x04
+FNAME = 0x08
+FCOMMENT = 0x10
+_FRESERVED = 0xE0
+
+#: XFL hints written by common compressors.
+XFL_SLOWEST = 2
+XFL_FASTEST = 4
+OS_UNIX = 3
+OS_UNKNOWN = 255
+
+
+@dataclass
+class GzipHeader:
+    """Parsed gzip member header."""
+
+    ftext: bool = False
+    mtime: int = 0
+    xfl: int = 0
+    os: int = OS_UNKNOWN
+    extra: bytes = None
+    name: str = None
+    comment: str = None
+    header_crc16: int = None
+    size_bytes: int = 10
+
+    def extra_subfields(self) -> list:
+        """Decode the FEXTRA payload into ``(si1, si2, data)`` subfields."""
+        fields = []
+        data = self.extra or b""
+        position = 0
+        while position + 4 <= len(data):
+            si1, si2 = data[position], data[position + 1]
+            length = int.from_bytes(data[position + 2 : position + 4], "little")
+            payload = data[position + 4 : position + 4 + length]
+            fields.append((si1, si2, payload))
+            position += 4 + length
+        return fields
+
+
+@dataclass
+class GzipFooter:
+    crc32: int
+    isize: int
+    size_bytes: int = field(default=8, init=False)
+
+
+def _read_exact(reader, nbytes: int) -> bytes:
+    data = reader.read_bytes(nbytes)
+    if len(data) != nbytes:
+        raise TruncatedError("gzip header ends prematurely")
+    return data
+
+
+def parse_gzip_header(reader, *, verify_header_crc: bool = True) -> GzipHeader:
+    """Parse one member header at the reader's (byte-aligned) position."""
+    start_byte = reader.tell() // 8
+    fixed = _read_exact(reader, 10)
+    if fixed[:2] != MAGIC:
+        raise GzipHeaderError(
+            f"bad magic bytes {fixed[:2]!r} at byte offset {start_byte}"
+        )
+    if fixed[2] != _CM_DEFLATE:
+        raise GzipHeaderError(f"unsupported compression method {fixed[2]}")
+    flags = fixed[3]
+    if flags & _FRESERVED:
+        raise GzipHeaderError(f"reserved flag bits set: {flags:#04x}")
+
+    header = GzipHeader(
+        ftext=bool(flags & FTEXT),
+        mtime=int.from_bytes(fixed[4:8], "little"),
+        xfl=fixed[8],
+        os=fixed[9],
+    )
+
+    if flags & FEXTRA:
+        xlen = int.from_bytes(_read_exact(reader, 2), "little")
+        header.extra = _read_exact(reader, xlen)
+    if flags & FNAME:
+        header.name = _read_zero_terminated(reader).decode("latin-1")
+    if flags & FCOMMENT:
+        header.comment = _read_zero_terminated(reader).decode("latin-1")
+    if flags & FHCRC:
+        header.header_crc16 = int.from_bytes(_read_exact(reader, 2), "little")
+        if verify_header_crc:
+            end_byte = reader.tell() // 8
+            raw = reader._reader.pread(start_byte, end_byte - 2 - start_byte)
+            if fast_crc32(raw) & 0xFFFF != header.header_crc16:
+                raise GzipHeaderError("header CRC16 mismatch")
+
+    header.size_bytes = reader.tell() // 8 - start_byte
+    return header
+
+
+def _read_zero_terminated(reader) -> bytes:
+    out = bytearray()
+    while True:
+        byte = _read_exact(reader, 1)[0]
+        if byte == 0:
+            return bytes(out)
+        out.append(byte)
+        if len(out) > 65536:
+            raise GzipHeaderError("unterminated header string")
+
+
+def parse_gzip_footer(reader) -> GzipFooter:
+    """Parse the CRC-32 + ISIZE trailer; reader must be byte-aligned."""
+    raw = _read_exact(reader, 8)
+    return GzipFooter(
+        crc32=int.from_bytes(raw[:4], "little"),
+        isize=int.from_bytes(raw[4:], "little"),
+    )
+
+
+def serialize_gzip_header(
+    *,
+    ftext: bool = False,
+    mtime: int = 0,
+    xfl: int = 0,
+    os: int = OS_UNIX,
+    extra: bytes = None,
+    name: str = None,
+    comment: str = None,
+    header_crc: bool = False,
+) -> bytes:
+    """Build a member header with the requested optional fields."""
+    flags = (
+        (FTEXT if ftext else 0)
+        | (FEXTRA if extra is not None else 0)
+        | (FNAME if name is not None else 0)
+        | (FCOMMENT if comment is not None else 0)
+        | (FHCRC if header_crc else 0)
+    )
+    out = bytearray(MAGIC)
+    out.append(_CM_DEFLATE)
+    out.append(flags)
+    out += mtime.to_bytes(4, "little")
+    out.append(xfl)
+    out.append(os)
+    if extra is not None:
+        out += len(extra).to_bytes(2, "little")
+        out += extra
+    if name is not None:
+        out += name.encode("latin-1") + b"\x00"
+    if comment is not None:
+        out += comment.encode("latin-1") + b"\x00"
+    if header_crc:
+        out += (fast_crc32(bytes(out)) & 0xFFFF).to_bytes(2, "little")
+    return bytes(out)
+
+
+def serialize_gzip_footer(crc32_value: int, uncompressed_size: int) -> bytes:
+    return (crc32_value & 0xFFFFFFFF).to_bytes(4, "little") + (
+        uncompressed_size & 0xFFFFFFFF
+    ).to_bytes(4, "little")

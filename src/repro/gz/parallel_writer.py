@@ -1,0 +1,134 @@
+"""Parallel gzip compression — the pigz/bgzip counterpart to the reader.
+
+The paper's related-work section (§5) describes how parallel *compressors*
+sidestep the decompression problem: pigz compresses chunks as separate
+Deflate streams, bgzip as separate gzip members with size metadata. This
+writer implements that side of the ecosystem on the same worker pool used
+for decompression: input is split into fixed-size chunks, each chunk is
+compressed independently (zlib releases the GIL, so threads give real
+parallelism even in Python), and the results are concatenated in order as
+
+* independent gzip members (``layout="members"`` — decompressible by
+  anything, parallel-decompressible by this library's multi-member path), or
+* BGZF members with BSIZE metadata (``layout="bgzf"`` — enables the
+  reader's metadata fast path).
+
+Files produced here are first-class inputs for ParallelGzipReader: many
+member boundaries mean many chunk boundaries.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..errors import UsageError
+from ..pool import ThreadPool
+from .bgzf import BGZF_EOF_BLOCK, MAX_BGZF_PAYLOAD, write_bgzf_member
+from .crc32 import fast_crc32
+from .header import serialize_gzip_footer, serialize_gzip_header
+
+__all__ = ["ParallelGzipWriter", "compress_parallel"]
+
+
+def _member_task(piece: bytes, level: int, layout: str) -> bytes:
+    if layout == "bgzf":
+        return write_bgzf_member(piece, level)
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    deflated = compressor.compress(piece) + compressor.flush()
+    return (
+        serialize_gzip_header()
+        + deflated
+        + serialize_gzip_footer(fast_crc32(piece), len(piece))
+    )
+
+
+class ParallelGzipWriter:
+    """Streaming parallel compressor over a binary file object."""
+
+    def __init__(
+        self,
+        fileobj,
+        *,
+        parallelization: int = 1,
+        level: int = 6,
+        chunk_size: int = 512 * 1024,
+        layout: str = "members",
+    ):
+        if layout not in ("members", "bgzf"):
+            raise UsageError(f"unknown layout {layout!r}")
+        if layout == "bgzf" and chunk_size > MAX_BGZF_PAYLOAD:
+            chunk_size = MAX_BGZF_PAYLOAD
+        if chunk_size < 1:
+            raise UsageError("chunk_size must be positive")
+        self._fileobj = fileobj
+        self._level = level
+        self._chunk_size = chunk_size
+        self._layout = layout
+        self._pool = ThreadPool(max(parallelization, 1))
+        self._pending: list = []  # futures, in input order
+        self._buffer = bytearray()
+        self._closed = False
+        #: Bound memory: don't let more than this many members queue up.
+        self._max_pending = 4 * max(parallelization, 1)
+
+    def write(self, data: bytes) -> int:
+        if self._closed:
+            raise UsageError("write to closed ParallelGzipWriter")
+        self._buffer += data
+        while len(self._buffer) >= self._chunk_size:
+            piece = bytes(self._buffer[: self._chunk_size])
+            del self._buffer[: self._chunk_size]
+            self._submit(piece)
+        return len(data)
+
+    def _submit(self, piece: bytes) -> None:
+        self._pending.append(
+            self._pool.submit(_member_task, piece, self._level, self._layout)
+        )
+        while len(self._pending) > self._max_pending:
+            self._drain_one()
+
+    def _drain_one(self) -> None:
+        self._fileobj.write(self._pending.pop(0).result())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._buffer or not self._pending:
+            self._submit(bytes(self._buffer))
+            self._buffer.clear()
+        while self._pending:
+            self._drain_one()
+        if self._layout == "bgzf":
+            self._fileobj.write(BGZF_EOF_BLOCK)
+        self._pool.shutdown()
+        self._closed = True
+
+    def __enter__(self) -> "ParallelGzipWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def compress_parallel(
+    data: bytes,
+    *,
+    parallelization: int = 1,
+    level: int = 6,
+    chunk_size: int = 512 * 1024,
+    layout: str = "members",
+) -> bytes:
+    """One-shot parallel gzip compression."""
+    import io
+
+    sink = io.BytesIO()
+    with ParallelGzipWriter(
+        sink,
+        parallelization=parallelization,
+        level=level,
+        chunk_size=chunk_size,
+        layout=layout,
+    ) as writer:
+        writer.write(data)
+    return sink.getvalue()

@@ -1,0 +1,218 @@
+"""Gzip writers with compressor *emulation profiles* (paper §4.8, Table 3).
+
+Different gzip-producing tools differ in exactly the properties that decide
+how well a parallel decompressor can chew their output:
+
+* **average Dynamic Block size** (one Huffman code per block — longer blocks
+  amortize the header, but make first-block discovery in a chunk costlier),
+* **stream layout** (single member vs. many independent members),
+* **pathologies** (bgzip -0 stores everything uncompressed; igzip -0 puts
+  the whole file into a *single* Dynamic Block, which defeats block-finder
+  parallelism entirely).
+
+Each profile reproduces one tool's decompression-relevant layout. Engines:
+``zlib`` (stdlib, fast — used for bulk corpus generation), ``custom`` (our
+from-scratch :mod:`repro.deflate.compress`), ``stored`` (no compression).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+
+from ..deflate.compress import CompressorOptions, DeflateCompressor
+from ..errors import UsageError
+from .bgzf import BGZF_EOF_BLOCK, MAX_BGZF_PAYLOAD, compress_bgzf
+from .crc32 import fast_crc32
+from .header import serialize_gzip_footer, serialize_gzip_header
+
+__all__ = ["CompressionProfile", "PROFILES", "compress", "GzipWriter", "profile_for_tool"]
+
+
+@dataclass(frozen=True)
+class CompressionProfile:
+    """Layout recipe for producing a gzip file."""
+
+    name: str
+    engine: str = "zlib"  # "zlib" | "custom" | "stored"
+    level: int = 6
+    member_size: int = None  # split into independent members (uncompressed bytes)
+    flush_interval: int = None  # Z_FULL_FLUSH cadence inside one member (pigz-like)
+    bgzf: bool = False  # BGZF container (implies small members + EOF block)
+    block_size: int = 64 * 1024  # custom engine: uncompressed bytes per block
+    block_type: str = "dynamic"  # custom engine block type
+    huffman_only: bool = False  # custom engine: entropy-only (no LZ)
+    single_block: bool = False  # custom engine: whole input in one block
+
+    def with_level(self, level: int) -> "CompressionProfile":
+        return replace(self, level=level)
+
+
+PROFILES = {
+    # GNU gzip: one member, zlib's block sizing (tens of KiB per block).
+    "gzip": CompressionProfile(name="gzip"),
+    # pigz: one member, sync flushes every 128 KiB -> empty stored blocks
+    # between independently compressed chunks (paper §4.4 discusses these).
+    "pigz": CompressionProfile(name="pigz", flush_interval=128 * 1024),
+    # bgzip: BGZF — many tiny independent members with BSIZE metadata.
+    "bgzf": CompressionProfile(name="bgzf", bgzf=True),
+    # bgzip -0: BGZF with stored payloads (paper Table 3's fastest row).
+    "bgzf-stored": CompressionProfile(name="bgzf-stored", bgzf=True, level=0),
+    # igzip -0: entropy-only compression in one giant Dynamic Block — the
+    # paper's unparallelizable pathology (Table 3, 0.16 GB/s row).
+    "igzip0": CompressionProfile(
+        name="igzip0", engine="custom", huffman_only=True, single_block=True
+    ),
+    # igzip -1..-3: fast compressors with large-ish blocks; layout-wise
+    # close to zlib at low levels.
+    "igzip": CompressionProfile(name="igzip", level=1),
+    # Whole file stored uncompressed (gzip level 0).
+    "stored": CompressionProfile(name="stored", engine="stored", level=0),
+    # Our from-scratch compressor with explicit block sizing.
+    "custom": CompressionProfile(name="custom", engine="custom"),
+}
+
+
+def profile_for_tool(tool: str, level: int = None) -> CompressionProfile:
+    """Map a paper Table 3 row label like ``"pigz -9"`` to a profile."""
+    tool = tool.strip()
+    name, _, level_text = tool.partition(" ")
+    if level is None and level_text:
+        level = int(level_text.lstrip("-l "))
+    if name == "bgzip":
+        base = PROFILES["bgzf-stored"] if level == 0 else PROFILES["bgzf"]
+        return base if level in (None, 0, -1) else base.with_level(level)
+    if name == "igzip":
+        return PROFILES["igzip0"] if level == 0 else PROFILES["igzip"].with_level(max(level or 1, 1))
+    if name in PROFILES:
+        base = PROFILES[name]
+        return base.with_level(level) if level is not None else base
+    raise UsageError(f"unknown compressor tool {tool!r}")
+
+
+def _zlib_deflate(data: bytes, level: int, flush_interval: int = None) -> bytes:
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    if not flush_interval:
+        return compressor.compress(data) + compressor.flush()
+    pieces = []
+    for start in range(0, len(data), flush_interval):
+        chunk = data[start : start + flush_interval]
+        pieces.append(compressor.compress(chunk))
+        if start + flush_interval < len(data):
+            # Full flush = byte-aligned empty stored block + dictionary
+            # reset: the structure pigz leaves between its worker chunks.
+            pieces.append(compressor.flush(zlib.Z_FULL_FLUSH))
+    pieces.append(compressor.flush())
+    return b"".join(pieces)
+
+
+def _custom_deflate(data: bytes, profile: CompressionProfile) -> bytes:
+    block_size = len(data) if profile.single_block else profile.block_size
+    options = CompressorOptions(
+        level=max(profile.level, 1),
+        block_size=max(block_size, 1),
+        block_type=profile.block_type,
+        huffman_only=profile.huffman_only,
+    )
+    return DeflateCompressor(options).compress(data)
+
+
+def _member(data: bytes, deflate_data: bytes, *, mtime: int = 0, name: str = None) -> bytes:
+    header = serialize_gzip_header(mtime=mtime, name=name)
+    return header + deflate_data + serialize_gzip_footer(fast_crc32(data), len(data))
+
+
+def compress(
+    data: bytes,
+    profile="gzip",
+    *,
+    level: int = None,
+    mtime: int = 0,
+    name: str = None,
+) -> bytes:
+    """Compress ``data`` to a complete gzip file using a layout profile."""
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    if level is not None:
+        profile = profile.with_level(level)
+
+    if profile.bgzf:
+        return compress_bgzf(data, profile.level)
+
+    def deflate(piece: bytes) -> bytes:
+        if profile.engine == "stored" or profile.level == 0:
+            return _zlib_deflate(piece, 0)
+        if profile.engine == "custom":
+            return _custom_deflate(piece, profile)
+        return _zlib_deflate(piece, profile.level, profile.flush_interval)
+
+    if profile.member_size:
+        members = []
+        for start in range(0, len(data), profile.member_size):
+            piece = data[start : start + profile.member_size]
+            members.append(_member(piece, deflate(piece), mtime=mtime))
+        if not members:
+            members.append(_member(b"", deflate(b""), mtime=mtime))
+        return b"".join(members)
+    return _member(data, deflate(data), mtime=mtime, name=name)
+
+
+class GzipWriter:
+    """Streaming gzip writer over a binary file object.
+
+    Buffers input and emits whole members/blocks on :meth:`close` (profiles
+    with ``member_size``/BGZF emit as soon as a member fills). Usable as a
+    context manager.
+    """
+
+    def __init__(self, fileobj, profile="gzip", *, level: int = None, mtime: int = 0):
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        if level is not None:
+            profile = profile.with_level(level)
+        self._fileobj = fileobj
+        self._profile = profile
+        self._buffer = bytearray()
+        self._closed = False
+        self._member_size = (
+            MAX_BGZF_PAYLOAD if profile.bgzf else profile.member_size
+        )
+
+    def write(self, data: bytes) -> int:
+        if self._closed:
+            raise UsageError("write to closed GzipWriter")
+        self._buffer += data
+        if self._member_size:
+            while len(self._buffer) >= self._member_size:
+                piece = bytes(self._buffer[: self._member_size])
+                del self._buffer[: self._member_size]
+                self._emit_member(piece)
+        return len(data)
+
+    def _emit_member(self, piece: bytes) -> None:
+        if self._profile.bgzf:
+            from .bgzf import write_bgzf_member
+
+            self._fileobj.write(write_bgzf_member(piece, self._profile.level))
+        else:
+            profile = replace(self._profile, member_size=None, bgzf=False)
+            self._fileobj.write(compress(piece, profile))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._buffer or not self._member_size:
+            if self._member_size:
+                self._emit_member(bytes(self._buffer))
+            else:
+                self._fileobj.write(compress(bytes(self._buffer), self._profile))
+            self._buffer.clear()
+        if self._profile.bgzf:
+            self._fileobj.write(BGZF_EOF_BLOCK)
+        self._closed = True
+
+    def __enter__(self) -> "GzipWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,73 @@
+"""Length-limited canonical Huffman code construction (compressor side).
+
+Deflate caps code lengths at 15 bits (7 for the precode), so plain Huffman
+construction is not enough — we use the package–merge algorithm, which is
+optimal under a length limit, then assign canonical codes compatible with
+:func:`repro.huffman.canonical.canonical_codes_from_lengths`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import UsageError
+from .canonical import canonical_codes_from_lengths
+
+__all__ = ["package_merge_lengths", "build_canonical_code"]
+
+
+def package_merge_lengths(
+    frequencies: Sequence[int], max_length: int
+) -> list:
+    """Optimal length-limited code lengths for the given symbol frequencies.
+
+    Zero-frequency symbols get length 0. A single used symbol gets length 1
+    (Deflate cannot express zero-bit codes). Raises if the symbol count
+    cannot fit in ``max_length`` bits.
+    """
+    used = [(freq, symbol) for symbol, freq in enumerate(frequencies) if freq > 0]
+    lengths = [0] * len(frequencies)
+    if not used:
+        return lengths
+    if len(used) == 1:
+        lengths[used[0][1]] = 1
+        return lengths
+    if len(used) > (1 << max_length):
+        raise UsageError(
+            f"{len(used)} symbols cannot be coded within {max_length} bits"
+        )
+
+    # Package–merge: maintain a list of "packages" per level; each original
+    # symbol appears as a singleton item at every level. After max_length
+    # merge rounds, the first 2*(n-1) items of the final level determine how
+    # often each symbol was selected == its code length.
+    singletons = sorted((freq, (symbol,)) for freq, symbol in used)
+
+    def merge(packages):
+        merged = []
+        for first, second in zip(packages[0::2], packages[1::2]):
+            merged.append((first[0] + second[0], first[1] + second[1]))
+        combined = sorted(merged + singletons, key=lambda item: item[0])
+        return combined
+
+    level = list(singletons)
+    for _ in range(max_length - 1):
+        level = merge(level)
+
+    for _freq, symbols in level[: 2 * (len(used) - 1)]:
+        for symbol in symbols:
+            lengths[symbol] += 1
+    return lengths
+
+
+def build_canonical_code(
+    frequencies: Sequence[int], max_length: int
+) -> tuple:
+    """Return ``(lengths, codes)`` for a canonical length-limited code.
+
+    ``codes[i]`` is the MSB-first integer code for symbol ``i`` or ``None``
+    when unused — ready for the compressor's bit writer (which must reverse
+    bits when emitting, as Deflate writes Huffman codes MSB-first).
+    """
+    lengths = package_merge_lengths(frequencies, max_length)
+    return lengths, canonical_codes_from_lengths(lengths)

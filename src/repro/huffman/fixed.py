@@ -1,0 +1,36 @@
+"""Fixed Huffman code tables for Deflate Fixed Blocks (RFC 1951 §3.2.6).
+
+The literal/length alphabet uses 8-bit codes for 0–143 and 280–287, 9-bit
+codes for 144–255, and 7-bit codes for 256–279; distances use flat 5-bit
+codes for all 32 symbols. Decoders are built once, lazily, and shared —
+they are immutable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .canonical import CanonicalDecoder
+
+__all__ = [
+    "FIXED_LITERAL_LENGTHS",
+    "FIXED_DISTANCE_LENGTHS",
+    "fixed_literal_decoder",
+    "fixed_distance_decoder",
+]
+
+FIXED_LITERAL_LENGTHS = (
+    [8] * 144 + [9] * 112 + [7] * 24 + [8] * 8
+)  # symbols 0..287
+
+FIXED_DISTANCE_LENGTHS = [5] * 32  # symbols 0..31 (30, 31 reserved but coded)
+
+
+@lru_cache(maxsize=1)
+def fixed_literal_decoder() -> CanonicalDecoder:
+    return CanonicalDecoder(FIXED_LITERAL_LENGTHS)
+
+
+@lru_cache(maxsize=1)
+def fixed_distance_decoder() -> CanonicalDecoder:
+    return CanonicalDecoder(FIXED_DISTANCE_LENGTHS)

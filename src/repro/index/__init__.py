@@ -1,0 +1,5 @@
+"""Seek-point index for constant-time random access."""
+
+from .gzip_index import GzipIndex, INDEX_MAGIC, SeekPoint
+
+__all__ = ["GzipIndex", "INDEX_MAGIC", "SeekPoint"]

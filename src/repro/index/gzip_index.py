@@ -1,0 +1,176 @@
+"""Exportable seek-point index (paper §1.3, "Index for Seeking").
+
+Each seek point stores the compressed *bit* offset, the decompressed byte
+offset, and the 32 KiB window needed to resume decompression there. The
+index is built as a by-product of decompression and can be exported and
+re-imported (like indexed_gzip); with a finalized index loaded:
+
+* seeking is O(log n) + decoding at most one seek-point interval,
+* chunk decompression delegates to zlib (>2x faster than two-stage),
+* workloads are balanced, because the points are equally spaced in
+  *decompressed* space.
+
+Binary format (little-endian): magic ``RPGZIDX1``, u8 version, u8 flags
+(bit 0 = finalized), u64 uncompressed size, u64 compressed size in bits,
+u32 seek-point count; each point: u64 compressed bit offset, u64
+uncompressed offset, u8 flags (bit 0 = stream start), u32 compressed window
+length, zlib-compressed window bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..errors import FormatError, UsageError
+
+__all__ = ["SeekPoint", "GzipIndex", "INDEX_MAGIC"]
+
+INDEX_MAGIC = b"RPGZIDX1"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SeekPoint:
+    """A resumable position: bit offset, byte offset, preceding window."""
+
+    compressed_bit_offset: int
+    uncompressed_offset: int
+    window: bytes  # up to 32 KiB; b"" when the point is a stream start
+    is_stream_start: bool = False
+
+
+class GzipIndex:
+    """Sorted collection of seek points with import/export."""
+
+    def __init__(self):
+        self._points: list = []
+        self._uncompressed_offsets: list = []
+        self.finalized = False
+        self.uncompressed_size = 0
+        self.compressed_size_bits = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> SeekPoint:
+        return self._points[index]
+
+    @property
+    def seek_points(self) -> list:
+        return list(self._points)
+
+    def add(self, point: SeekPoint) -> None:
+        """Append a seek point; offsets must be strictly increasing."""
+        if self.finalized:
+            raise UsageError("add to a finalized index")
+        if self._points:
+            last = self._points[-1]
+            if point.uncompressed_offset < last.uncompressed_offset or (
+                point.compressed_bit_offset <= last.compressed_bit_offset
+            ):
+                raise UsageError("seek points must be added in increasing order")
+        self._points.append(point)
+        self._uncompressed_offsets.append(point.uncompressed_offset)
+
+    def finalize(self, uncompressed_size: int, compressed_size_bits: int) -> None:
+        """Mark the index complete; total sizes become known."""
+        self.finalized = True
+        self.uncompressed_size = uncompressed_size
+        self.compressed_size_bits = compressed_size_bits
+
+    def find(self, uncompressed_offset: int) -> SeekPoint:
+        """Last seek point at or before ``uncompressed_offset``."""
+        if not self._points:
+            raise UsageError("index is empty")
+        index = bisect_right(self._uncompressed_offsets, uncompressed_offset) - 1
+        if index < 0:
+            raise UsageError(
+                f"offset {uncompressed_offset} precedes the first seek point"
+            )
+        return self._points[index]
+
+    def index_of(self, point_offset: int) -> int:
+        index = bisect_right(self._uncompressed_offsets, point_offset) - 1
+        if index < 0 or self._uncompressed_offsets[index] != point_offset:
+            raise UsageError(f"no seek point at offset {point_offset}")
+        return index
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = io.BytesIO()
+        out.write(INDEX_MAGIC)
+        out.write(bytes([_VERSION, 1 if self.finalized else 0]))
+        out.write(self.uncompressed_size.to_bytes(8, "little"))
+        out.write(self.compressed_size_bits.to_bytes(8, "little"))
+        out.write(len(self._points).to_bytes(4, "little"))
+        for point in self._points:
+            out.write(point.compressed_bit_offset.to_bytes(8, "little"))
+            out.write(point.uncompressed_offset.to_bytes(8, "little"))
+            out.write(bytes([1 if point.is_stream_start else 0]))
+            compressed_window = zlib.compress(point.window, 6)
+            out.write(len(compressed_window).to_bytes(4, "little"))
+            out.write(compressed_window)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "GzipIndex":
+        stream = io.BytesIO(data)
+
+        def take(n: int) -> bytes:
+            piece = stream.read(n)
+            if len(piece) != n:
+                raise FormatError("truncated index file")
+            return piece
+
+        if take(8) != INDEX_MAGIC:
+            raise FormatError("not a rapidgzip-repro index file")
+        version, flags = take(2)
+        if version != _VERSION:
+            raise FormatError(f"unsupported index version {version}")
+        index = cls()
+        uncompressed_size = int.from_bytes(take(8), "little")
+        compressed_size_bits = int.from_bytes(take(8), "little")
+        count = int.from_bytes(take(4), "little")
+        for _ in range(count):
+            compressed_bit = int.from_bytes(take(8), "little")
+            uncompressed = int.from_bytes(take(8), "little")
+            point_flags = take(1)[0]
+            window_length = int.from_bytes(take(4), "little")
+            window = zlib.decompress(take(window_length))
+            index.add(
+                SeekPoint(
+                    compressed_bit_offset=compressed_bit,
+                    uncompressed_offset=uncompressed,
+                    window=window,
+                    is_stream_start=bool(point_flags & 1),
+                )
+            )
+        if flags & 1:
+            index.finalize(uncompressed_size, compressed_size_bits)
+        return index
+
+    def save(self, target) -> None:
+        """Write the index to a path or binary file object."""
+        data = self.to_bytes()
+        if hasattr(target, "write"):
+            target.write(data)
+        else:
+            with open(target, "wb") as handle:
+                handle.write(data)
+
+    @classmethod
+    def load(cls, source) -> "GzipIndex":
+        """Read an index from a path, bytes, or binary file object."""
+        if isinstance(source, (bytes, bytearray)):
+            return cls.from_bytes(bytes(source))
+        if hasattr(source, "read"):
+            return cls.from_bytes(source.read())
+        with open(source, "rb") as handle:
+            return cls.from_bytes(handle.read())

@@ -1,0 +1,22 @@
+"""I/O substrate: file reader abstraction and the LSB-first bit reader."""
+
+from .bit_reader import BitReader
+from .file_reader import (
+    FileReader,
+    MemoryFileReader,
+    PythonFileReader,
+    StandardFileReader,
+    ensure_file_reader,
+)
+from .shared_file_reader import SharedFileReader, strided_read_benchmark
+
+__all__ = [
+    "BitReader",
+    "FileReader",
+    "MemoryFileReader",
+    "PythonFileReader",
+    "StandardFileReader",
+    "SharedFileReader",
+    "ensure_file_reader",
+    "strided_read_benchmark",
+]

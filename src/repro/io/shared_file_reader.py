@@ -1,0 +1,134 @@
+"""Shared, thread-safe file reader used by the parallel decompressor.
+
+Mirrors rapidgzip's ``SharedFileReader`` (paper §4.2, Fig. 8): many threads
+read disjoint ranges of one file concurrently. For regular files this maps
+to lock-free ``os.pread`` on a shared descriptor; for in-memory buffers it
+is a plain slice; for Python file-like objects a lock serializes access.
+
+Also provides :func:`strided_read_benchmark`, the measurement kernel behind
+Figure 8 — each of ``num_threads`` workers reads every ``num_threads``-th
+``chunk_size`` block of the file.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from .file_reader import FileReader, ensure_file_reader
+
+__all__ = ["SharedFileReader", "strided_read_benchmark"]
+
+
+class SharedFileReader(FileReader):
+    """Decorator adding reference-counted sharing on top of any reader.
+
+    Every clone shares the same underlying reader (and therefore the same
+    file descriptor or buffer) but owns an independent cursor. Statistics
+    are aggregated across clones for instrumentation.
+    """
+
+    def __init__(self, source, *, _shared=None) -> None:
+        super().__init__()
+        if _shared is None:
+            base = ensure_file_reader(source)
+            _shared = _SharedState(base)
+        self._shared = _shared
+        self._shared.retain()
+        self._position = 0
+
+    def size(self) -> int:
+        return self._shared.base.size()
+
+    def pread(self, offset: int, size: int) -> bytes:
+        data = self._shared.base.pread(offset, size)
+        self._shared.record(len(data))
+        return data
+
+    def clone(self) -> "SharedFileReader":
+        return SharedFileReader(None, _shared=self._shared)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._shared.release()
+        super().close()
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes served across *all* clones of this reader."""
+        return self._shared.bytes_read
+
+    @property
+    def read_calls(self) -> int:
+        return self._shared.read_calls
+
+
+class _SharedState:
+    """Reference-counted wrapper holding the base reader and counters."""
+
+    def __init__(self, base: FileReader) -> None:
+        self.base = base
+        self.bytes_read = 0
+        self.read_calls = 0
+        self._refcount = 0
+        self._lock = threading.Lock()
+
+    def retain(self) -> None:
+        with self._lock:
+            self._refcount += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self._refcount -= 1
+            last = self._refcount == 0
+        if last:
+            self.base.close()
+
+    def record(self, nbytes: int) -> None:
+        # Counters are advisory; a lock here would serialize the hot path.
+        self.bytes_read += nbytes
+        self.read_calls += 1
+
+
+def strided_read_benchmark(
+    source,
+    *,
+    num_threads: int,
+    chunk_size: int = 128 * 1024,
+) -> dict:
+    """Figure 8 measurement kernel: parallel strided reads of one file.
+
+    Thread *t* reads chunks ``t, t + T, t + 2T, ...`` (T = ``num_threads``)
+    of ``chunk_size`` bytes each. Returns aggregate bandwidth in bytes/s
+    along with the total byte count, for the Fig. 8 bench harness.
+    """
+    reader = SharedFileReader(source)
+    total_size = reader.size()
+    num_chunks = (total_size + chunk_size - 1) // chunk_size
+
+    def worker(thread_index: int) -> int:
+        local = reader.clone()
+        read = 0
+        for chunk in range(thread_index, num_chunks, num_threads):
+            read += len(local.pread(chunk * chunk_size, chunk_size))
+        local.close()
+        return read
+
+    start = time.perf_counter()
+    if num_threads == 1:
+        totals = [worker(0)]
+    else:
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            totals = list(pool.map(worker, range(num_threads)))
+    elapsed = time.perf_counter() - start
+    reader.close()
+
+    total = sum(totals)
+    return {
+        "bytes": total,
+        "seconds": elapsed,
+        "bandwidth": total / elapsed if elapsed > 0 else float("inf"),
+        "threads": num_threads,
+        "chunk_size": chunk_size,
+    }

@@ -1,0 +1,5 @@
+"""Worker thread pool."""
+
+from .thread_pool import PRIORITY_ON_DEMAND, PRIORITY_PREFETCH, ThreadPool
+
+__all__ = ["PRIORITY_ON_DEMAND", "PRIORITY_PREFETCH", "ThreadPool"]

@@ -1,0 +1,97 @@
+"""Worker thread pool with priorities and clean shutdown.
+
+Decompression tasks are CPU-heavy, so exactly ``parallelization`` workers
+exist and tasks carry priorities: an *exact* on-demand decode requested by
+the consuming reader must overtake queued speculative prefetches, otherwise
+a cache miss waits behind work that may turn out useless.
+
+Futures are :class:`concurrent.futures.Future`, so callers get the standard
+``result()/done()/add_done_callback()`` surface.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from concurrent.futures import Future
+
+from ..errors import UsageError
+
+__all__ = ["ThreadPool", "PRIORITY_ON_DEMAND", "PRIORITY_PREFETCH"]
+
+PRIORITY_ON_DEMAND = 0
+PRIORITY_PREFETCH = 10
+
+_SHUTDOWN = object()
+
+
+class ThreadPool:
+    """Fixed-size priority thread pool."""
+
+    def __init__(self, size: int, name: str = "repro-worker"):
+        if size < 1:
+            raise UsageError("thread pool needs at least one worker")
+        self.size = size
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._sequence = itertools.count()  # FIFO tie-breaker per priority
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"{name}-{i}", daemon=True)
+            for i in range(size)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def submit(self, function, /, *args, priority: int = PRIORITY_PREFETCH, **kwargs) -> Future:
+        """Queue ``function(*args, **kwargs)``; lower priority runs first."""
+        with self._lock:
+            if self._shutdown:
+                raise UsageError("submit on a shut-down ThreadPool")
+            self.tasks_submitted += 1
+        future: Future = Future()
+        self._queue.put((priority, next(self._sequence), future, function, args, kwargs))
+        return future
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            _priority, _seq, future, function, args, kwargs = item
+            if future is None:  # shutdown sentinel, sorted after real work
+                self._queue.task_done()
+                return
+            if not future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue
+            try:
+                future.set_result(function(*args, **kwargs))
+            except BaseException as error:  # propagate to the waiter
+                future.set_exception(error)
+            finally:
+                with self._lock:
+                    self.tasks_completed += 1
+                self._queue.task_done()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._workers:
+            self._queue.put((float("inf"), next(self._sequence), None, None, (), {}))
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    @property
+    def pending(self) -> int:
+        return self.tasks_submitted - self.tasks_completed
+
+    def __enter__(self) -> "ThreadPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,5 @@
+"""User-facing parallel gzip reader."""
+
+from .parallel_reader import ParallelGzipReader, decompress_parallel
+
+__all__ = ["ParallelGzipReader", "decompress_parallel"]

@@ -1,0 +1,5 @@
+"""Corrupted-gzip recovery via block finding."""
+
+from .recover import RecoveredSegment, RecoveryReport, recover_gzip
+
+__all__ = ["RecoveredSegment", "RecoveryReport", "recover_gzip"]

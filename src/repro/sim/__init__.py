@@ -1,0 +1,32 @@
+"""Calibrated performance simulator for the paper's scaling experiments."""
+
+from .calibration import measure_components, measured_cost_model
+from .events import OrderedConsumer, WorkerPool
+from .model import CostModel, WORKLOADS, Workload
+from .pipeline import (
+    SimulationResult,
+    simulate_pugz,
+    simulate_rapidgzip,
+    simulate_single_threaded,
+)
+from .table3 import TABLE3_ROWS, table3_workload
+from .tools import TOOL_MODELS, ToolModel, tool_bandwidth
+
+__all__ = [
+    "measure_components",
+    "measured_cost_model",
+    "OrderedConsumer",
+    "WorkerPool",
+    "CostModel",
+    "WORKLOADS",
+    "Workload",
+    "SimulationResult",
+    "simulate_pugz",
+    "simulate_rapidgzip",
+    "simulate_single_threaded",
+    "TABLE3_ROWS",
+    "table3_workload",
+    "TOOL_MODELS",
+    "ToolModel",
+    "tool_bandwidth",
+]

@@ -1,0 +1,121 @@
+"""Self-calibration: measure this implementation's component bandwidths.
+
+Produces the measurement dict consumed by :meth:`CostModel.measured`. The
+pure-Python components are orders of magnitude slower than the paper's C++,
+but the simulator consumes *ratios*; EXPERIMENTS.md reports scaling shapes
+under both the paper calibration and this one to show the shapes are not an
+artifact of the published constants.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+import zlib
+
+import numpy as np
+
+__all__ = ["measure_components", "measured_cost_model"]
+
+
+def _timed(function, *args, repeats: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function(*args)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def measure_components(sample_size: int = 256 * 1024, repeats: int = 3, seed: int = 0) -> dict:
+    """Micro-benchmark each pipeline component; returns ``{field: B/s}``."""
+    from ..blockfinder import DynamicBlockFinder, PugzBlockFinder
+    from ..datagen import generate_silesia_like
+    from ..deflate.inflate import TwoStageStreamDecoder, inflate
+    from ..deflate.markers import pad_window, replace_markers
+    from ..gz.stream import decompress as serial_decompress
+    from ..io import BitReader, strided_read_benchmark
+
+    def two_stage_decode_stream(raw_deflate: bytes):
+        reader = BitReader(raw_deflate)
+        decoder = TwoStageStreamDecoder(window=None)
+        while not decoder.read_and_decode_block(reader).final:
+            pass
+        return decoder.finish()
+
+    measurements = {}
+    rng = np.random.default_rng(seed)
+
+    data = generate_silesia_like(sample_size, seed)
+    window = bytes(rng.integers(0, 256, size=32 * 1024, dtype=np.uint8))
+    compressor = zlib.compressobj(6, zlib.DEFLATED, -15, zdict=window)
+    compressed = compressor.compress(data) + compressor.flush()
+
+    seconds, _ = _timed(two_stage_decode_stream, compressed, repeats=repeats)
+    measurements["two_stage_decode"] = len(data) / seconds
+
+    plain = zlib.compress(data, 6)[2:-4]
+    seconds, _ = _timed(inflate, plain, repeats=repeats)
+    measurements["conventional_decode"] = len(data) / seconds
+
+    seconds, _ = _timed(lambda: zlib.decompress(plain, -15), repeats=repeats)
+    measurements["zlib_decode"] = len(data) / seconds
+
+    stored = zlib.compress(data, 0)[2:-4]
+    seconds, _ = _timed(inflate, stored, repeats=repeats)
+    measurements["stored_copy"] = len(data) / seconds
+
+    noise = rng.integers(0, 256, size=sample_size, dtype=np.uint8).tobytes()
+    seconds, _ = _timed(
+        lambda: list(DynamicBlockFinder(noise).iter_candidates(0)), repeats=repeats
+    )
+    measurements["block_finder"] = len(noise) / seconds
+
+    pugz_sample = noise[:2048]
+    seconds, _ = _timed(
+        lambda: PugzBlockFinder(pugz_sample).find_next(0), repeats=1
+    )
+    measurements["pugz_block_finder"] = len(pugz_sample) / seconds
+    measurements["pugz_decode"] = measurements["two_stage_decode"]
+
+    symbols = rng.integers(0, 1 << 16, size=sample_size, dtype=np.uint16)
+    padded = pad_window(window)
+    seconds, _ = _timed(lambda: replace_markers(symbols, padded), repeats=repeats)
+    measurements["marker_replacement"] = sample_size / seconds
+
+    with tempfile.NamedTemporaryFile(delete=False) as handle:
+        handle.write(noise)
+        path = handle.name
+    try:
+        result = strided_read_benchmark(path, num_threads=2, chunk_size=64 * 1024)
+        measurements["io_read"] = result["bandwidth"]
+        seconds, _ = _timed(
+            lambda: open(path, "wb").write(noise), repeats=repeats
+        )
+        measurements["output_write"] = len(noise) / seconds
+    finally:
+        os.unlink(path)
+
+    blob = zlib.compress(data, 6)
+    gz_blob = (
+        b"\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\x03"
+        + blob[2:-4]
+        + zlib.crc32(data).to_bytes(4, "little")
+        + (len(data) & 0xFFFFFFFF).to_bytes(4, "little")
+    )
+    seconds, _ = _timed(serial_decompress, gz_blob, repeats=repeats)
+    measurements["gzip_tool"] = len(data) / seconds
+    # igzip/pigz do not exist here; keep the paper's ratios to gzip.
+    measurements["igzip_tool"] = measurements["gzip_tool"] * (416 / 157)
+    measurements["pigz_tool"] = measurements["gzip_tool"] * (270 / 157)
+    return measurements
+
+
+def measured_cost_model(sample_size: int = 256 * 1024, seed: int = 0):
+    """Convenience: a fully self-calibrated :class:`CostModel`."""
+    from .model import CostModel
+
+    return CostModel.measured(measure_components(sample_size, seed=seed))

@@ -1,0 +1,66 @@
+"""Minimal discrete-event primitives for the pipeline simulator.
+
+Just enough machinery for the decompression pipelines: a worker pool whose
+workers become free at known times, and an ordered consumer that adds
+serial per-item costs. Time is simulated seconds (floats); no wall-clock
+anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import UsageError
+
+__all__ = ["WorkerPool", "OrderedConsumer"]
+
+
+class WorkerPool:
+    """P workers; ``run(ready_time, duration)`` returns the finish time.
+
+    Jobs are placed on the earliest-free worker, never before their inputs
+    are ready — the standard greedy list schedule, which matches a work
+    pool with an adequate queue depth.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise UsageError("need at least one worker")
+        self.num_workers = num_workers
+        self._free_at = [0.0] * num_workers
+        heapq.heapify(self._free_at)
+        self.busy_time = 0.0
+        self.finish_time = 0.0
+
+    def run(self, ready_time: float, duration: float) -> float:
+        worker_free = heapq.heappop(self._free_at)
+        start = max(worker_free, ready_time)
+        finish = start + duration
+        heapq.heappush(self._free_at, finish)
+        self.busy_time += duration
+        if finish > self.finish_time:
+            self.finish_time = finish
+        return finish
+
+    def utilization(self, makespan: float) -> float:
+        if makespan <= 0:
+            return 0.0
+        return self.busy_time / (self.num_workers * makespan)
+
+
+class OrderedConsumer:
+    """Serial consumer taking items in order with a per-item serial cost.
+
+    Models the orchestrating thread: item *i* can only be consumed after
+    item *i-1* was consumed AND item *i* is available; consumption itself
+    costs serial time (window propagation, ordered writes).
+    """
+
+    def __init__(self):
+        self.time = 0.0
+        self.serial_time = 0.0
+
+    def consume(self, available_at: float, serial_cost: float) -> float:
+        self.time = max(self.time, available_at) + serial_cost
+        self.serial_time += serial_cost
+        return self.time

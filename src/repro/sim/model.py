@@ -1,0 +1,172 @@
+"""Component cost model for the pipeline simulator.
+
+The paper's scaling experiments ran on a 2x64-core AMD Rome node. This
+container has one core, so the *shape* experiments (Figures 9–12, Tables
+3–4) run on a discrete-event simulation of the pipeline whose per-component
+costs come from either
+
+* :meth:`CostModel.from_paper` — the single-core bandwidths the paper
+  itself measured (Table 2, Table 4 P=1 rows, §4.4), reproducing the
+  published absolute numbers, or
+* :meth:`CostModel.measured` — micro-benchmarks of *this* implementation,
+  scaled to a common decode bandwidth so that the ratios (finder vs decode
+  vs marker replacement) are ours. Because the scaling shape depends only
+  on cost *ratios* and pipeline structure, both calibrations must agree on
+  who wins and where the knees are — EXPERIMENTS.md reports both.
+
+All bandwidths are bytes/second; "compressed" vs "decompressed" is noted
+per field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "Workload", "WORKLOADS"]
+
+#: CostModel fields holding per-chunk *seconds* rather than bytes/s.
+_TIME_FIELDS = {
+    "orchestration_index_seconds",
+    "orchestration_base_seconds",
+    "orchestration_marker_seconds",
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Single-core component bandwidths plus system-level limits."""
+
+    # Deflate decoding, decompressed bytes/s.
+    two_stage_decode: float  # first-stage (marker) decode
+    conventional_decode: float  # known-window custom decode
+    zlib_decode: float  # delegated decode (index loaded)
+    stored_copy: float  # Non-Compressed block fast path (memcpy-like)
+
+    # Block finding, compressed bytes/s (combined finder).
+    block_finder: float
+    pugz_block_finder: float
+    pugz_decode: float  # pugz two-stage decode, decompressed bytes/s
+
+    # Marker replacement, decompressed bytes/s (vectorized gather).
+    marker_replacement: float
+
+    # System-level.
+    io_read: float  # shared file reading plateau (Fig. 8)
+    output_write: float  # /dev/shm write bandwidth (Table 2)
+
+    # Single-threaded comparison tools, decompressed bytes/s.
+    gzip_tool: float
+    igzip_tool: float
+    pigz_tool: float
+
+    #: Many-core slowdown: effective per-core bandwidth is divided by
+    #: ``1 + beta * (P - 1)`` (shared memory bandwidth, uncore and boost
+    #: clock contention on the 128-core node). Calibrated once so that the
+    #: base64 no-index curve tops out at the paper's 8.7 GB/s; all other
+    #: curves inherit it.
+    contention_beta: float = 0.0085
+
+    #: Serial orchestration seconds per chunk: index fast path; without an
+    #: index (adds window extraction and seek-point insertion); and the
+    #: extra marker-path cost (window materialization, 16-bit intermediate
+    #: handling). Fitted once to Fig. 9/10 plateaus, constant elsewhere.
+    orchestration_index_seconds: float = 0.00025
+    orchestration_base_seconds: float = 0.0006
+    orchestration_marker_seconds: float = 0.0016
+    #: Bandwidth of pugz's synchronized in-order writer (Fig. 9 plateau).
+    pugz_commit: float = 1.35e9
+
+    def core_slowdown(self, num_cores: int) -> float:
+        return 1.0 + self.contention_beta * max(num_cores - 1, 0)
+
+    @classmethod
+    def from_paper(cls) -> "CostModel":
+        """Calibration from the paper's published measurements."""
+        return cls(
+            two_stage_decode=153e6,  # Table 4, rapidgzip P=1
+            conventional_decode=169e6,  # §4.4 single-thread rapidgzip
+            zlib_decode=330e6,  # §1.3: ">2x as fast as two-stage"
+            stored_copy=3.0e9,  # §4.8 bgzip -0 row implies memcpy speeds
+            block_finder=38e6,  # §4.3 geometric mean of DBF+NBF
+            pugz_block_finder=11.3e6,  # Table 2
+            pugz_decode=160e6,  # libdeflate-based first stage
+            marker_replacement=1254e6,  # Table 2
+            io_read=18e9,  # Fig. 8 plateau
+            output_write=3799e6,  # Table 2
+            gzip_tool=157e6,  # §4.4
+            igzip_tool=416e6,  # §4.4
+            pigz_tool=270e6,  # §4.4
+        )
+
+    @classmethod
+    def measured(cls, measurements: dict) -> "CostModel":
+        """Calibration from this implementation's micro-benchmarks.
+
+        ``measurements`` maps field names to measured bytes/s; missing
+        fields fall back to the paper value scaled by the ratio between
+        the measured and paper two-stage decode bandwidth, keeping the
+        model internally consistent.
+        """
+        paper = cls.from_paper()
+        scale = (
+            measurements.get("two_stage_decode", paper.two_stage_decode)
+            / paper.two_stage_decode
+        )
+        values = {}
+        for field in cls.__dataclass_fields__:
+            if field == "contention_beta":
+                values[field] = measurements.get(field, paper.contention_beta)
+            elif field in measurements:
+                values[field] = measurements[field]
+            elif field in _TIME_FIELDS:
+                # Per-chunk *times* grow as the machine slows down.
+                values[field] = getattr(paper, field) / scale
+            else:
+                values[field] = getattr(paper, field) * scale
+        return cls(**values)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Uniformly faster/slower machine; shape-invariant by design."""
+        changes = {}
+        for field in self.__dataclass_fields__:
+            if field == "contention_beta":
+                continue
+            if field in _TIME_FIELDS:
+                changes[field] = getattr(self, field) / factor
+            else:
+                changes[field] = getattr(self, field) * factor
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Decompression-relevant character of a benchmark corpus.
+
+    ``markers_persist`` is the property separating Figure 9 from Figures
+    10/11: when backward pointers keep chaining (Silesia, FASTQ), markers
+    survive past 32 KiB, full marker replacement stays on the critical
+    path, and the sequential window propagation term appears.
+    """
+
+    name: str
+    compression_ratio: float
+    markers_persist: bool
+    avg_block_size: float  # compressed bytes per Deflate block
+    marker_fraction: float = 1.0  # share of chunk output still marked
+    stored_blocks: bool = False  # decode path is the memcpy fast path
+    single_block: bool = False  # igzip -0 pathology: no parallelism
+    #: Multiplier on the per-chunk serial marker-handling cost. FASTQ's
+    #: dense small matches make window handling costlier than Silesia's
+    #: (fitted to Fig. 11's earlier plateau; 1.0 for other workloads).
+    serial_scale: float = 1.0
+
+
+WORKLOADS = {
+    # §4.4: ratio 1.315, markers die out after ~a dozen KiB -> fallback to
+    # single-stage decoding; pigz average block 75 kB compressed.
+    "base64": Workload("base64", 1.315, False, 75e3),
+    # §4.5: ratio 3.1, duplicate strings keep markers alive.
+    "silesia": Workload("silesia", 3.1, True, 75e3),
+    # §4.6: ratio 3.74; stops scaling earlier than Silesia (~48 cores).
+    "fastq": Workload("fastq", 3.74, True, 75e3, serial_scale=1.6),
+}

@@ -1,0 +1,91 @@
+"""Comparison-tool models for Table 4 (formats x tools x parallelization).
+
+The zstd/bzip2/lz4 tool family is not reimplemented (DESIGN.md §3); each
+tool is modeled by its published single-core bandwidth and a two-parameter
+parallel-efficiency law
+
+    bandwidth(P) = single * P / (s*P + (1-s) + c*P^2)
+                 = single / (s + (1-s)/P + c*P)
+
+with ``s`` the serial fraction (Amdahl) and ``c`` a per-core coordination
+overhead. ``s``/``c`` are fitted to the paper's P in {1, 16, 128} rows, so
+the model necessarily reproduces the published crossovers — its value is
+letting the benchmark sweep *between* and *beyond* those points and compose
+rows into the same table shape.
+
+Tools that cannot parallelize a given input (pzstd on single-frame zstd
+files, bgzip on plain gzip) are flat lines, mirroring the paper's findings
+that both need specially prepared files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UsageError
+
+__all__ = ["ToolModel", "TOOL_MODELS", "tool_bandwidth"]
+
+
+@dataclass(frozen=True)
+class ToolModel:
+    """Single-core bandwidth (decompressed B/s) + scaling law parameters."""
+
+    name: str
+    single_core: float
+    serial_fraction: float = 1.0  # 1.0 = cannot parallelize at all
+    per_core_overhead: float = 0.0
+    compression_ratio: float = 1.0
+
+    def bandwidth(self, num_cores: int) -> float:
+        if num_cores < 1:
+            raise UsageError("need at least one core")
+        s = self.serial_fraction
+        denominator = s + (1.0 - s) / num_cores + self.per_core_overhead * num_cores
+        return self.single_core / max(denominator, 1e-12)
+
+
+#: Fitted against Table 4 (Silesia, default levels). Keys are
+#: "(compressor, decompressor)" as in the table's first/third columns.
+TOOL_MODELS = {
+    # bzip2 is block-parallel and scales almost linearly (91x at 128).
+    ("bzip2", "lbzip2"): ToolModel(
+        "lbzip2", single_core=0.04492e9, serial_fraction=0.0031,
+        per_core_overhead=0.0, compression_ratio=3.88,
+    ),
+    # bgzip parallelizes BGZF members but saturates (18.5x at 128).
+    ("bgzip", "bgzip"): ToolModel(
+        "bgzip", single_core=0.2977e9, serial_fraction=0.0426,
+        per_core_overhead=2.9e-5, compression_ratio=2.99,
+    ),
+    # bgzip on a *plain* gzip file finds no BSIZE metadata: single-core.
+    ("gzip", "bgzip"): ToolModel(
+        "bgzip(gzip)", single_core=0.2965e9, compression_ratio=3.11,
+    ),
+    ("gzip", "igzip"): ToolModel(
+        "igzip", single_core=0.656e9, compression_ratio=3.11,
+    ),
+    ("zstd", "zstd"): ToolModel(
+        "zstd", single_core=0.820e9, compression_ratio=3.18,
+    ),
+    # pzstd on single-frame zstd output: no frames to parallelize over.
+    ("zstd", "pzstd"): ToolModel(
+        "pzstd(zstd)", single_core=0.816e9, compression_ratio=3.18,
+    ),
+    # pzstd on pzstd-prepared multi-frame files: 8.4x @16, 10.9x @128.
+    ("pzstd", "pzstd"): ToolModel(
+        "pzstd", single_core=0.811e9, serial_fraction=0.0532,
+        per_core_overhead=2.44e-4, compression_ratio=3.17,
+    ),
+    ("lz4", "lz4"): ToolModel(
+        "lz4", single_core=1.337e9, compression_ratio=2.10,
+    ),
+}
+
+
+def tool_bandwidth(compressor: str, decompressor: str, num_cores: int) -> float:
+    """Decompression bandwidth (B/s) for a Table 4 tool pairing."""
+    key = (compressor, decompressor)
+    if key not in TOOL_MODELS:
+        raise UsageError(f"no model for {compressor} decompressed by {decompressor}")
+    return TOOL_MODELS[key].bandwidth(num_cores)

@@ -1,0 +1,65 @@
+"""Hand-rolled Deflate bit writer for crafting adversarial test streams."""
+
+from repro.huffman import FIXED_LITERAL_LENGTHS, canonical_codes_from_lengths
+from repro.deflate.constants import distance_to_symbol, length_to_symbol
+
+
+class BitWriter:
+    """LSB-first bit accumulator matching Deflate's packing."""
+
+    def __init__(self):
+        self.accumulator = 0
+        self.bit_count = 0
+
+    def write(self, value: int, bits: int) -> None:
+        self.accumulator |= (value & ((1 << bits) - 1)) << self.bit_count
+        self.bit_count += bits
+
+    def write_reversed(self, code: int, bits: int) -> None:
+        """Write a Huffman code (MSB-first semantics) into the stream."""
+        reversed_code = int(format(code, f"0{bits}b")[::-1], 2)
+        self.write(reversed_code, bits)
+
+    def getvalue(self) -> bytes:
+        nbytes = (self.bit_count + 7) // 8
+        return self.accumulator.to_bytes(max(nbytes, 1), "little")
+
+
+_FIXED_CODES = canonical_codes_from_lengths(FIXED_LITERAL_LENGTHS)
+_FIXED_DIST_CODES = canonical_codes_from_lengths([5] * 32)
+
+
+def write_fixed_literal(writer: BitWriter, symbol: int) -> None:
+    writer.write_reversed(_FIXED_CODES[symbol], FIXED_LITERAL_LENGTHS[symbol])
+
+
+def encode_fixed_block(literals: bytes, final: bool = True) -> bytes:
+    """A Fixed Block containing only literals."""
+    writer = BitWriter()
+    writer.write(1 if final else 0, 1)
+    writer.write(0b01, 2)
+    for byte in literals:
+        write_fixed_literal(writer, byte)
+    write_fixed_literal(writer, 256)
+    return writer.getvalue()
+
+
+def encode_fixed_block_with_match(
+    distance: int, length: int = 3, prefix: bytes = b"", final: bool = True
+) -> bytes:
+    """A Fixed Block with ``prefix`` literals then one back-reference."""
+    writer = BitWriter()
+    writer.write(1 if final else 0, 1)
+    writer.write(0b01, 2)
+    for byte in prefix:
+        write_fixed_literal(writer, byte)
+    symbol, extra_bits, extra_value = length_to_symbol(length)
+    write_fixed_literal(writer, symbol)
+    if extra_bits:
+        writer.write(extra_value, extra_bits)
+    dist_symbol, dist_extra_bits, dist_extra_value = distance_to_symbol(distance)
+    writer.write_reversed(_FIXED_DIST_CODES[dist_symbol], 5)
+    if dist_extra_bits:
+        writer.write(dist_extra_value, dist_extra_bits)
+    write_fixed_literal(writer, 256)
+    return writer.getvalue()

@@ -1,0 +1,96 @@
+"""Tests for BGZF support (paper §3.4.4)."""
+
+import gzip as stdlib_gzip
+
+import pytest
+
+from repro.errors import FormatError
+from repro.gz.bgzf import (
+    BGZF_EOF_BLOCK,
+    MAX_BGZF_PAYLOAD,
+    bgzf_block_offsets,
+    bgzf_block_size,
+    bgzf_extra_field,
+    compress_bgzf,
+    is_bgzf,
+    write_bgzf_member,
+)
+from repro.gz.header import parse_gzip_header
+from repro.gz import decompress
+from repro.io import BitReader
+
+
+class TestBgzfMember:
+    def test_member_is_valid_gzip(self):
+        member = write_bgzf_member(b"hello bgzf")
+        assert stdlib_gzip.decompress(member) == b"hello bgzf"
+
+    def test_bsize_matches_member_length(self):
+        member = write_bgzf_member(b"payload data here")
+        header = parse_gzip_header(BitReader(member))
+        assert bgzf_block_size(header) == len(member)
+
+    def test_payload_limit(self):
+        write_bgzf_member(b"x" * MAX_BGZF_PAYLOAD)  # at the limit: fine
+        with pytest.raises(FormatError):
+            write_bgzf_member(b"x" * (MAX_BGZF_PAYLOAD + 1))
+
+    def test_stored_level(self):
+        member = write_bgzf_member(b"incompressible" * 10, level=0)
+        assert stdlib_gzip.decompress(member) == b"incompressible" * 10
+
+    def test_extra_field_encoding(self):
+        field = bgzf_extra_field(65536)
+        assert field[:2] == b"BC"
+        assert int.from_bytes(field[4:6], "little") == 65535
+        with pytest.raises(FormatError):
+            bgzf_extra_field(0)
+        with pytest.raises(FormatError):
+            bgzf_extra_field(65537)
+
+
+class TestBgzfFile:
+    DATA = bytes(range(256)) * 1200  # ~300 KiB -> 5 members
+
+    def test_round_trip_stdlib(self):
+        assert stdlib_gzip.decompress(compress_bgzf(self.DATA)) == self.DATA
+
+    def test_round_trip_ours(self):
+        assert decompress(compress_bgzf(self.DATA)) == self.DATA
+
+    def test_ends_with_eof_block(self):
+        assert compress_bgzf(self.DATA).endswith(BGZF_EOF_BLOCK)
+
+    def test_eof_block_is_valid_empty_member(self):
+        assert stdlib_gzip.decompress(BGZF_EOF_BLOCK) == b""
+        header = parse_gzip_header(BitReader(BGZF_EOF_BLOCK))
+        assert bgzf_block_size(header) == len(BGZF_EOF_BLOCK)
+
+    def test_detection(self):
+        assert is_bgzf(compress_bgzf(self.DATA))
+        assert not is_bgzf(stdlib_gzip.compress(self.DATA))
+        assert not is_bgzf(b"junk")
+
+    def test_block_offsets_cover_file(self):
+        blob = compress_bgzf(self.DATA, payload_size=32_768)
+        offsets = bgzf_block_offsets(blob)
+        expected_members = -(-len(self.DATA) // 32_768) + 1  # + EOF block
+        assert len(offsets) == expected_members
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+
+    def test_block_offsets_reject_broken_chain(self):
+        blob = compress_bgzf(self.DATA)[:-5]  # truncated EOF block
+        with pytest.raises(FormatError):
+            bgzf_block_offsets(blob)
+
+    def test_empty_input(self):
+        blob = compress_bgzf(b"")
+        assert stdlib_gzip.decompress(blob) == b""
+        assert is_bgzf(blob)
+
+    def test_custom_payload_size(self):
+        blob = compress_bgzf(self.DATA, payload_size=10_000)
+        assert decompress(blob) == self.DATA
+        with pytest.raises(FormatError):
+            compress_bgzf(self.DATA, payload_size=MAX_BGZF_PAYLOAD + 1)

@@ -1,0 +1,261 @@
+"""Tests for the Deflate block finders (paper §3.4)."""
+
+import random
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.blockfinder import (
+    CombinedBlockFinder,
+    DynamicBlockFinder,
+    DynamicBlockFinderCustomTrial,
+    DynamicBlockFinderSkipLUT,
+    DynamicBlockFinderZlibTrial,
+    PugzBlockFinder,
+    UncompressedBlockFinder,
+    canonical_nc_offset,
+    check_pugz_compatible,
+    scan_nc_candidates,
+    skip_lut,
+)
+from repro.deflate import inflate
+from repro.deflate.compress import CompressorOptions, compress
+from repro.gz.header import serialize_gzip_header
+from repro.io import BitReader
+
+
+def true_dynamic_offsets(raw_deflate: bytes, header_bytes: int = 0) -> list:
+    """Ground truth: actual Dynamic (type 2) block offsets from full decode."""
+    result = inflate(BitReaderAt(raw_deflate, header_bytes * 8))
+    return [
+        b.bit_offset
+        for b in result.boundaries
+        if b.block_type == 2 and not b.is_final
+    ]
+
+
+def BitReaderAt(data, bit_offset):
+    reader = BitReader(data)
+    reader.seek(bit_offset)
+    return reader
+
+
+def multi_block_stream(num_blocks=6, block_size=4096, seed=11) -> tuple:
+    """A raw Deflate stream with several Dynamic blocks, plus its data."""
+    rng = random.Random(seed)
+    data = bytes(rng.randrange(33, 127) for _ in range(num_blocks * block_size))
+    compressed = compress(data, CompressorOptions(level=6, block_size=block_size))
+    return compressed, data
+
+
+class TestSkipLut:
+    def test_entry_zero_for_valid_prefix(self):
+        lut = skip_lut()
+        # Bits: final=0, type bits (LSB-first) 0 then 1, HLIT=0 -> ...0100.
+        assert lut[0b100] == 0
+
+    def test_entry_skips_final_block(self):
+        lut = skip_lut()
+        # Setting the final bit invalidates position 0.
+        assert lut[0b101] != 0
+
+    def test_hlit_30_31_rejected(self):
+        lut = skip_lut()
+        for hlit in (30, 31):
+            index = 0b100 | (hlit << 3)
+            assert lut[index] != 0
+        assert lut[0b100 | (29 << 3)] == 0
+
+    def test_skip_values_in_range(self):
+        lut = skip_lut()
+        assert lut.min() >= 0
+        assert lut.max() <= 7
+
+    def test_lut_matches_bruteforce(self):
+        lut = skip_lut()
+        rng = random.Random(5)
+        for _ in range(300):
+            value = rng.randrange(1 << 14)
+            expected = 7
+            for position in range(7):
+                final = (value >> position) & 1
+                type_bits = (value >> (position + 1)) & 0b11
+                hlit = (value >> (position + 3)) & 31
+                if final == 0 and type_bits == 0b10 and hlit < 30:
+                    expected = position
+                    break
+            assert lut[value] == expected
+
+
+@pytest.mark.parametrize(
+    "finder_class",
+    [DynamicBlockFinder, DynamicBlockFinderSkipLUT, DynamicBlockFinderCustomTrial],
+)
+class TestDynamicFinders:
+    def test_finds_all_true_blocks(self, finder_class):
+        compressed, _ = multi_block_stream()
+        truth = true_dynamic_offsets(compressed)
+        assert truth  # sanity: several non-final dynamic blocks exist
+        finder = finder_class(compressed)
+        found = list(finder.iter_candidates(0))
+        for offset in truth:
+            assert offset in found
+
+    def test_search_from_middle(self, finder_class):
+        compressed, _ = multi_block_stream()
+        truth = true_dynamic_offsets(compressed)
+        target = truth[len(truth) // 2]
+        finder = finder_class(compressed)
+        assert finder.find_next(target) == target
+        nxt = finder.find_next(target + 1)
+        assert nxt is None or nxt > target
+
+    def test_until_limits_search(self, finder_class):
+        compressed, _ = multi_block_stream()
+        truth = true_dynamic_offsets(compressed)
+        finder = finder_class(compressed)
+        assert finder.find_next(truth[0] + 1, until=truth[0] + 2) is None
+
+    def test_empty_input(self, finder_class):
+        assert finder_class(b"").find_next(0) is None
+
+
+class TestZlibTrialFinder:
+    def test_finds_true_block(self):
+        compressed, _ = multi_block_stream(num_blocks=3, block_size=2048)
+        truth = true_dynamic_offsets(compressed)
+        finder = DynamicBlockFinderZlibTrial(compressed)
+        # Searching right before a true offset must find it.
+        assert finder.find_next(max(truth[0] - 16, 0)) == truth[0]
+
+
+class TestFalsePositives:
+    def test_false_positive_rate_on_random_data(self):
+        # On pure noise, full-chain candidates must be very rare: Table 1
+        # says ~202 per 10^12 positions; in 2*10^6 positions expect ~0,
+        # allow a little slack.
+        rng = np.random.default_rng(7)
+        noise = rng.integers(0, 256, size=250_000, dtype=np.uint8).tobytes()
+        finder = DynamicBlockFinder(noise)
+        found = list(finder.iter_candidates(0))
+        assert len(found) <= 3
+
+    def test_counter_stages_recorded(self):
+        rng = np.random.default_rng(3)
+        noise = rng.integers(0, 256, size=20_000, dtype=np.uint8).tobytes()
+        counter = {}
+        finder = DynamicBlockFinderCustomTrial(noise, counter=counter)
+        list(finder.iter_candidates(0, until=50_000))
+        from repro.deflate import FilterStage
+
+        assert counter.get(FilterStage.FINAL_BLOCK, 0) > 0
+        assert counter.get(FilterStage.COMPRESSION_TYPE, 0) > 0
+        # Early filters fire far more often than late ones (Table 1 shape).
+        assert counter[FilterStage.FINAL_BLOCK] > counter.get(
+            FilterStage.PRECODE_INVALID, 0
+        )
+
+
+class TestUncompressedFinder:
+    def make_stored_stream(self, payload: bytes) -> bytes:
+        return compress(payload, CompressorOptions(level=0))
+
+    def test_finds_stored_blocks(self):
+        rng = random.Random(1)
+        payload = bytes(rng.randrange(256) for _ in range(200_000))
+        compressed = self.make_stored_stream(payload)
+        truth = [
+            canonical_nc_offset(b.bit_offset)
+            for b in inflate(compressed).boundaries
+            if not b.is_final
+        ]
+        finder = UncompressedBlockFinder(compressed)
+        found = list(finder.iter_candidates(0))
+        for offset in truth:
+            assert offset in found
+
+    def test_canonical_nc_offset(self):
+        # Header at bit 13 -> bits 13..15, padding to byte 2 -> canonical 13.
+        assert canonical_nc_offset(13) == 13
+        # Header at bit 8 -> needs padding; LEN at byte 2 -> canonical 13.
+        assert canonical_nc_offset(8) == 13
+        assert canonical_nc_offset(canonical_nc_offset(39)) == canonical_nc_offset(39)
+
+    def test_scan_rejects_nonzero_padding_bits(self):
+        # LEN/NLEN pair match but header bits are nonzero.
+        data = bytes([0xFF, 0x05, 0x00, 0xFA, 0xFF, 1, 2, 3, 4, 5])
+        assert scan_nc_candidates(data).size == 0
+
+    def test_scan_accepts_valid_header(self):
+        data = bytes([0x00, 0x05, 0x00, 0xFA, 0xFF, 1, 2, 3, 4, 5])
+        candidates = scan_nc_candidates(data)
+        assert 1 * 8 - 3 in candidates.tolist()
+
+    def test_false_positive_rate_on_random_data(self):
+        # Paper §3.4.1: one false positive per (514 +- 23) KiB of noise.
+        rng = np.random.default_rng(123)
+        noise = rng.integers(0, 256, size=4 << 20, dtype=np.uint8).tobytes()
+        count = scan_nc_candidates(noise).size
+        rate_kib = (len(noise) / 1024) / max(count, 1)
+        assert 250 <= rate_kib <= 1100  # 4 MiB sample: wide but telling band
+
+    def test_base_byte_offset(self):
+        data = bytes([0x00, 0x05, 0x00, 0xFA, 0xFF, 1, 2, 3, 4, 5])
+        shifted = scan_nc_candidates(data, base_byte_offset=100)
+        assert (101 * 8) - 3 in shifted.tolist()
+
+
+class TestCombinedFinder:
+    def test_returns_lower_of_both(self):
+        # Stored stream: NC finder should dominate; dynamic stream: DBF.
+        rng = random.Random(2)
+        payload = bytes(rng.randrange(256) for _ in range(100_000))
+        stored = compress(payload, CompressorOptions(level=0))
+        finder = CombinedBlockFinder(stored)
+        first = finder.find_next(1)
+        truth = [
+            canonical_nc_offset(b.bit_offset)
+            for b in inflate(stored).boundaries
+            if not b.is_final
+        ]
+        assert first == truth[0]
+
+    def test_dynamic_candidates_found_too(self):
+        compressed, _ = multi_block_stream()
+        truth = true_dynamic_offsets(compressed)
+        finder = CombinedBlockFinder(compressed)
+        found = [finder.find_next(t) for t in truth]
+        assert found == truth
+
+    def test_gzip_header_skipped_naturally(self):
+        # With a gzip header prepended, absolute offsets still line up.
+        compressed, _ = multi_block_stream(num_blocks=3)
+        blob = serialize_gzip_header() + compressed
+        truth = [t + 10 * 8 for t in true_dynamic_offsets(compressed)]
+        finder = CombinedBlockFinder(blob)
+        for offset in truth:
+            assert finder.find_next(offset) == offset
+
+
+class TestPugzFinder:
+    def test_compatible_check(self):
+        assert check_pugz_compatible(b"hello world\t\n")
+        assert not check_pugz_compatible(b"hello\x00world")
+        assert not check_pugz_compatible(bytes([200]))
+
+    def test_finds_block_in_ascii_stream(self):
+        compressed, _ = multi_block_stream(num_blocks=4, block_size=4096)
+        truth = true_dynamic_offsets(compressed)
+        finder = PugzBlockFinder(compressed)
+        assert finder.find_next(truth[0]) == truth[0]
+
+    def test_rejects_binary_output_blocks(self):
+        rng = random.Random(9)
+        binary = bytes(rng.randrange(256) for _ in range(20_000))
+        compressed = compress(binary, CompressorOptions(level=6, block_size=4096))
+        truth = true_dynamic_offsets(compressed)
+        finder = PugzBlockFinder(compressed)
+        # A true block decoding to binary data is *rejected* by pugz's
+        # ASCII constraint — the limitation rapidgzip lifts.
+        assert finder.find_next(truth[0], until=truth[0] + 1) is None

@@ -1,0 +1,195 @@
+"""Tests for the LRU caches, prefetch strategies, and thread pool."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cache import (
+    FetchMultiStream,
+    FetchNextAdaptive,
+    FetchNextFixed,
+    LRUCache,
+)
+from repro.errors import UsageError
+from repro.pool import PRIORITY_ON_DEMAND, PRIORITY_PREFETCH, ThreadPool
+
+
+class TestLRUCache:
+    def test_basic_insert_get(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        cache.get("a")  # refresh a
+        cache.insert("c", 3)  # evicts b
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_reinsert_updates_value(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        cache.insert("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_statistics(self):
+        cache = LRUCache(1)
+        cache.insert("x", 0)
+        cache.get("x")
+        cache.get("y")
+        cache.insert("z", 1)
+        stats = cache.statistics
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert 0 < stats.hit_rate < 1
+
+    def test_peek_does_not_touch(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        cache.peek("a")
+        cache.insert("c", 3)  # a is still LRU -> evicted
+        assert "a" not in cache
+
+    def test_pop(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", "gone") == "gone"
+
+    def test_resize_shrinks(self):
+        cache = LRUCache(4)
+        for i in range(4):
+            cache.insert(i, i)
+        cache.resize(2)
+        assert len(cache) == 2
+        assert 3 in cache  # most recent survive
+
+    def test_capacity_validation(self):
+        with pytest.raises(UsageError):
+            LRUCache(0)
+        with pytest.raises(UsageError):
+            LRUCache(2).resize(0)
+
+    def test_thread_safety_smoke(self):
+        cache = LRUCache(16)
+
+        def worker(base):
+            for i in range(300):
+                cache.insert((base, i % 20), i)
+                cache.get((base, (i + 1) % 20))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 16
+
+
+class TestPrefetchStrategies:
+    def test_fixed_returns_next_degree(self):
+        strategy = FetchNextFixed()
+        assert strategy.prefetch([5], 3) == [6, 7, 8]
+        assert strategy.prefetch([], 3) == []
+
+    def test_adaptive_first_access_full_degree(self):
+        # Paper §3.2: full prefetch depth on the initial access so
+        # decompression starts fully parallel.
+        strategy = FetchNextAdaptive()
+        assert strategy.prefetch([0], 8) == list(range(1, 9))
+
+    def test_adaptive_ramps_with_sequential_run(self):
+        strategy = FetchNextAdaptive()
+        short_run = strategy.prefetch([7, 3, 4], 16)  # run of 2
+        long_run = strategy.prefetch([3, 4, 5, 6, 7], 16)  # run of 5
+        assert len(short_run) < len(long_run)
+        assert long_run == list(range(8, 8 + 16))  # saturated at degree
+
+    def test_adaptive_resets_on_random_access(self):
+        strategy = FetchNextAdaptive()
+        wishes = strategy.prefetch([3, 4, 5, 42], 16)
+        assert wishes == [43]
+
+    def test_multistream_tracks_streams_independently(self):
+        strategy = FetchMultiStream()
+        history = [100, 0, 101, 1, 102, 2]
+        wishes = strategy.prefetch(history, 8)
+        assert any(w > 100 for w in wishes)
+        assert any(w < 100 for w in wishes)
+
+    def test_multistream_no_duplicates(self):
+        strategy = FetchMultiStream()
+        wishes = strategy.prefetch([1, 2, 3, 2, 3, 4], 8)
+        assert len(wishes) == len(set(wishes))
+
+    def test_multistream_single_stream_behaves_like_adaptive(self):
+        strategy = FetchMultiStream()
+        wishes = strategy.prefetch([0, 1, 2, 3], 8)
+        assert wishes[0] == 4
+
+
+class TestThreadPool:
+    def test_submit_and_result(self):
+        with ThreadPool(2) as pool:
+            future = pool.submit(lambda x: x * 2, 21)
+            assert future.result(timeout=5) == 42
+
+    def test_exception_propagates(self):
+        with ThreadPool(1) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=5)
+
+    def test_parallel_execution(self):
+        barrier = threading.Barrier(3, timeout=5)
+        with ThreadPool(3) as pool:
+            futures = [pool.submit(barrier.wait) for _ in range(3)]
+            for future in futures:
+                future.result(timeout=5)  # deadlocks unless truly parallel
+
+    def test_priorities_order_queued_work(self):
+        order = []
+        gate = threading.Event()
+        with ThreadPool(1) as pool:
+            pool.submit(gate.wait)  # occupy the single worker
+            pool.submit(order.append, "prefetch", priority=PRIORITY_PREFETCH)
+            pool.submit(order.append, "demand", priority=PRIORITY_ON_DEMAND)
+            gate.set()
+            pool.shutdown(wait=True)
+        assert order == ["demand", "prefetch"]
+
+    def test_shutdown_drains_queue(self):
+        results = []
+        pool = ThreadPool(2)
+        for i in range(20):
+            pool.submit(results.append, i)
+        pool.shutdown(wait=True)
+        assert sorted(results) == list(range(20))
+
+    def test_submit_after_shutdown_raises(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        with pytest.raises(UsageError):
+            pool.submit(print)
+
+    def test_counters(self):
+        pool = ThreadPool(2)
+        futures = [pool.submit(time.sleep, 0) for _ in range(5)]
+        for future in futures:
+            future.result(timeout=5)
+        pool.shutdown()
+        assert pool.tasks_submitted == 5
+        assert pool.tasks_completed == 5
+        assert pool.pending == 0
+
+    def test_size_validation(self):
+        with pytest.raises(UsageError):
+            ThreadPool(0)

@@ -1,0 +1,51 @@
+"""Tests for the simulator self-calibration harness."""
+
+import pytest
+
+from repro.sim import CostModel, measure_components, measured_cost_model
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return measure_components(sample_size=48 * 1024, repeats=1)
+
+
+class TestMeasureComponents:
+    def test_all_model_fields_covered_or_derivable(self, measurements):
+        model = CostModel.measured(measurements)
+        for field in CostModel.__dataclass_fields__:
+            assert getattr(model, field) > 0
+
+    def test_bandwidths_positive_and_sane(self, measurements):
+        for name, value in measurements.items():
+            assert value > 0, name
+        # zlib (C) must beat the pure-Python decoder by a lot.
+        assert measurements["zlib_decode"] > 10 * measurements["two_stage_decode"]
+        # The vectorized marker replacement must beat the decoder too.
+        assert measurements["marker_replacement"] > measurements["two_stage_decode"]
+
+    def test_paper_component_ordering_preserved(self, measurements):
+        # The orderings the simulator's shape conclusions rely on.
+        assert measurements["stored_copy"] > measurements["two_stage_decode"]
+        assert measurements["io_read"] > measurements["two_stage_decode"]
+
+    def test_measured_cost_model_runs_a_simulation(self, measurements):
+        from repro.sim import WORKLOADS, simulate_rapidgzip
+
+        model = CostModel.measured(measurements)
+        result = simulate_rapidgzip(
+            4, WORKLOADS["base64"], model, uncompressed_size=64 * 1024 * 1024
+        )
+        assert result.bandwidth > 0
+        faster = simulate_rapidgzip(
+            8, WORKLOADS["base64"], model, uncompressed_size=128 * 1024 * 1024
+        )
+        assert faster.bandwidth > result.bandwidth
+
+    def test_time_fields_scale_inversely(self):
+        paper = CostModel.from_paper()
+        slow = CostModel.measured({"two_stage_decode": paper.two_stage_decode / 10})
+        assert slow.orchestration_base_seconds == pytest.approx(
+            paper.orchestration_base_seconds * 10
+        )
+        assert slow.block_finder == pytest.approx(paper.block_finder / 10)

@@ -1,0 +1,139 @@
+"""Tests for the command line interface."""
+
+import gzip as stdlib_gzip
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.datagen import generate_base64
+
+DATA = generate_base64(150_000, seed=8)
+
+
+@pytest.fixture
+def gz_file(tmp_path):
+    path = tmp_path / "data.txt.gz"
+    path.write_bytes(stdlib_gzip.compress(DATA, 6))
+    return path
+
+
+class TestDecompress:
+    def test_to_file(self, gz_file, tmp_path):
+        out = tmp_path / "data.txt"
+        assert main([str(gz_file), "-P", "2"]) == 0
+        assert out.read_bytes() == DATA
+
+    def test_to_stdout(self, gz_file, capsysbinary):
+        assert main(["-c", str(gz_file)]) == 0
+        assert capsysbinary.readouterr().out == DATA
+
+    def test_refuses_overwrite_without_force(self, gz_file, tmp_path):
+        (tmp_path / "data.txt").write_bytes(b"precious")
+        assert main([str(gz_file)]) == 1
+        assert (tmp_path / "data.txt").read_bytes() == b"precious"
+        assert main([str(gz_file), "-f"]) == 0
+
+    def test_explicit_output(self, gz_file, tmp_path):
+        out = tmp_path / "other.bin"
+        assert main([str(gz_file), "-o", str(out)]) == 0
+        assert out.read_bytes() == DATA
+
+    def test_chunk_size_option(self, gz_file, tmp_path):
+        out = tmp_path / "data.txt"
+        assert main([str(gz_file), "--chunk-size", "16", "-P", "3", "-f"]) == 0
+        assert out.read_bytes() == DATA
+
+    def test_corrupt_input_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.gz"
+        blob = bytearray(stdlib_gzip.compress(DATA[:50_000]))
+        blob[-6] ^= 0xFF
+        bad.write_bytes(bytes(blob))
+        assert main(["-c", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_no_verify_allows_corrupt(self, tmp_path, capsysbinary):
+        bad = tmp_path / "bad.gz"
+        blob = bytearray(stdlib_gzip.compress(DATA[:50_000]))
+        blob[-6] ^= 0xFF
+        bad.write_bytes(bytes(blob))
+        assert main(["-c", "--no-verify", str(bad)]) == 0
+        assert capsysbinary.readouterr().out == DATA[:50_000]
+
+
+class TestCounting:
+    def test_count(self, gz_file, capsys):
+        assert main(["--count", str(gz_file)]) == 0
+        assert capsys.readouterr().out.strip() == str(len(DATA))
+
+    def test_count_lines(self, gz_file, capsys):
+        assert main(["--count-lines", str(gz_file)]) == 0
+        assert capsys.readouterr().out.strip() == str(DATA.count(b"\n"))
+
+
+class TestIndex:
+    def test_export_then_import(self, gz_file, tmp_path, capsysbinary):
+        idx = tmp_path / "data.idx"
+        assert main(["--export-index", str(idx), str(gz_file)]) == 0
+        assert idx.exists()
+        assert main(["-c", "--import-index", str(idx), str(gz_file)]) == 0
+        assert capsysbinary.readouterr().out == DATA
+
+
+class TestAnalyze:
+    def test_analyze_prints_structure(self, gz_file, capsys):
+        assert main(["--analyze", str(gz_file)]) == 0
+        out = capsys.readouterr().out
+        assert "member" in out
+        assert "dynamic" in out or "stored" in out or "fixed" in out
+
+
+class TestCompress:
+    @pytest.mark.parametrize("profile", ["gzip", "pigz", "bgzf", "igzip0"])
+    def test_compress_profiles(self, tmp_path, profile):
+        src = tmp_path / "plain.txt"
+        src.write_bytes(DATA[:40_000])
+        assert main(["--compress", "--profile", profile, str(src)]) == 0
+        assert stdlib_gzip.decompress(
+            (tmp_path / "plain.txt.gz").read_bytes()
+        ) == DATA[:40_000]
+
+
+class TestParallelCompress:
+    def test_parallel_compress_members(self, tmp_path):
+        src = tmp_path / "big.txt"
+        src.write_bytes(DATA)
+        assert main(["--compress", "--parallel-compress", "-P", "3", str(src)]) == 0
+        blob = (tmp_path / "big.txt.gz").read_bytes()
+        assert stdlib_gzip.decompress(blob) == DATA
+
+    def test_parallel_compress_bgzf_layout(self, tmp_path):
+        from repro.gz.bgzf import is_bgzf
+
+        src = tmp_path / "big.txt"
+        src.write_bytes(DATA)
+        assert main([
+            "--compress", "--parallel-compress", "--layout", "bgzf",
+            "-P", "2", str(src),
+        ]) == 0
+        blob = (tmp_path / "big.txt.gz").read_bytes()
+        assert is_bgzf(blob)
+        assert stdlib_gzip.decompress(blob) == DATA
+
+
+class TestRecover:
+    def test_recover_cli(self, tmp_path, capsys):
+        blob = bytearray(stdlib_gzip.compress(DATA))
+        blob[:256] = bytes(256)
+        bad = tmp_path / "broken.gz"
+        bad.write_bytes(bytes(blob))
+        assert main(["--recover", str(bad)]) == 0
+        recovered = (tmp_path / "broken.gz.recovered").read_bytes()
+        assert len(recovered) > len(DATA) // 2
+        assert "recovered" in capsys.readouterr().err
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version", "x"])
+    assert excinfo.value.code == 0

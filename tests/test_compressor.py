@@ -1,0 +1,242 @@
+"""Tests for the from-scratch Deflate compressor and gzip writer profiles.
+
+Round trips are validated in *both* directions: stdlib zlib must decode our
+output (proving RFC conformance independently of our decoder), and our
+decoder must decode it too.
+"""
+
+import gzip as stdlib_gzip
+import random
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate import BLOCK_TYPE_DYNAMIC, BLOCK_TYPE_STORED, inflate
+from repro.deflate.compress import CompressorOptions, DeflateCompressor, compress
+from repro.errors import UsageError
+from repro.gz import decompress, count_streams
+from repro.gz.bgzf import bgzf_block_offsets, compress_bgzf, is_bgzf
+from repro.gz.writer import GzipWriter, PROFILES, profile_for_tool
+from repro.gz.writer import compress as gz_compress
+
+
+def zlib_inflate_raw(compressed: bytes) -> bytes:
+    return zlib.decompress(compressed, -15)
+
+
+SAMPLES = {
+    "empty": b"",
+    "one": b"Q",
+    "ascii": b"The five boxing wizards jump quickly. " * 300,
+    "repeats": b"na" * 4000 + b" batman! " + b"na" * 4000,
+    "binary": random.Random(0).randbytes(10000),
+    "zeros": bytes(20000),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+@pytest.mark.parametrize("level", [1, 4, 6, 9])
+def test_round_trip_via_zlib(name, level):
+    data = SAMPLES[name]
+    compressed = compress(data, CompressorOptions(level=level))
+    assert zlib_inflate_raw(compressed) == data
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_round_trip_via_our_decoder(name):
+    data = SAMPLES[name]
+    compressed = compress(data)
+    assert inflate(compressed).data == data
+
+
+def test_compression_actually_compresses():
+    data = SAMPLES["ascii"]
+    assert len(compress(data, CompressorOptions(level=9))) < len(data) // 2
+
+
+def test_compression_beats_level1_at_level9():
+    data = SAMPLES["repeats"] + SAMPLES["ascii"]
+    fast = compress(data, CompressorOptions(level=1))
+    best = compress(data, CompressorOptions(level=9))
+    assert len(best) <= len(fast)
+
+
+def test_stored_mode():
+    data = SAMPLES["binary"]
+    compressed = compress(data, CompressorOptions(level=0))
+    assert zlib_inflate_raw(compressed) == data
+    result = inflate(compressed)
+    assert all(b.block_type == BLOCK_TYPE_STORED for b in result.boundaries)
+
+
+def test_fixed_mode():
+    data = b"fixed block payload" * 10
+    compressed = compress(data, CompressorOptions(block_type="fixed"))
+    assert zlib_inflate_raw(compressed) == data
+
+
+def test_huffman_only_mode_has_no_matches():
+    data = b"abcabcabc" * 1000
+    plain = compress(data, CompressorOptions(huffman_only=True, block_size=1 << 20))
+    with_lz = compress(data, CompressorOptions(level=9))
+    assert zlib_inflate_raw(plain) == data
+    assert len(with_lz) < len(plain)  # LZ must have helped on repetitive data
+
+
+def test_block_size_controls_block_count():
+    data = SAMPLES["ascii"]
+    small = inflate(compress(data, CompressorOptions(block_size=1024)))
+    large = inflate(compress(data, CompressorOptions(block_size=1 << 20)))
+    assert len(small.boundaries) > len(large.boundaries)
+    assert len(large.boundaries) == 1
+    assert small.data == large.data == data
+
+
+def test_cross_block_matches_use_window():
+    # Second block's content repeats the first block's: must still decode.
+    data = b"0123456789abcdef" * 512  # 8 KiB
+    compressed = compress(data * 3, CompressorOptions(block_size=8192, level=9))
+    assert zlib_inflate_raw(compressed) == data * 3
+
+
+def test_single_giant_dynamic_block():
+    data = SAMPLES["ascii"]
+    compressed = compress(
+        data, CompressorOptions(block_size=len(data), huffman_only=True)
+    )
+    result = inflate(compressed)
+    assert len(result.boundaries) == 1
+    assert result.boundaries[0].block_type == BLOCK_TYPE_DYNAMIC
+    assert result.data == data
+
+
+def test_options_validation():
+    with pytest.raises(UsageError):
+        CompressorOptions(level=10)
+    with pytest.raises(UsageError):
+        CompressorOptions(block_type="bogus")
+    with pytest.raises(UsageError):
+        CompressorOptions(block_size=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=4000), level=st.integers(1, 9))
+def test_property_round_trip_zlib(data, level):
+    """Property: zlib decodes our compressor for arbitrary data/levels."""
+    assert zlib_inflate_raw(compress(data, CompressorOptions(level=level))) == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.binary(max_size=3000), block_size=st.integers(16, 2048))
+def test_property_round_trip_small_blocks(data, block_size):
+    options = CompressorOptions(block_size=block_size)
+    compressed = compress(data, options)
+    assert zlib_inflate_raw(compressed) == data
+    assert inflate(compressed).data == data
+
+
+class TestGzipProfiles:
+    DATA = (b"profile test data -- " * 2000) + bytes(range(256)) * 20
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_stdlib_gzip_decodes_every_profile(self, profile):
+        blob = gz_compress(self.DATA, profile)
+        assert stdlib_gzip.decompress(blob) == self.DATA
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_our_decoder_decodes_every_profile(self, profile):
+        blob = gz_compress(self.DATA, profile)
+        assert decompress(blob) == self.DATA
+
+    def test_gzip_profile_single_member(self):
+        assert count_streams(gz_compress(self.DATA, "gzip")) == 1
+
+    def test_bgzf_profile_many_members_and_eof(self):
+        blob = gz_compress(self.DATA, "bgzf")
+        assert is_bgzf(blob)
+        offsets = bgzf_block_offsets(blob)
+        assert len(offsets) >= len(self.DATA) // 65280
+        assert blob.endswith(
+            bytes.fromhex("1f8b08040000000000ff0600424302001b0003000000000000000000")
+        )
+
+    def test_bgzf_stored_is_uncompressed_layout(self):
+        blob = gz_compress(self.DATA, "bgzf-stored")
+        assert len(blob) > len(self.DATA)  # stored => larger than input
+        assert decompress(blob) == self.DATA
+
+    def test_igzip0_profile_single_dynamic_block(self):
+        data = self.DATA[:30000]
+        blob = gz_compress(data, "igzip0")
+        from repro.gz import iter_members
+        from repro.io import BitReader
+        from repro.deflate import read_block_header
+        from repro.gz.header import parse_gzip_header
+
+        reader = BitReader(blob)
+        parse_gzip_header(reader)
+        header = read_block_header(reader)
+        assert header.final  # one block for everything
+        assert header.block_type == BLOCK_TYPE_DYNAMIC
+        assert decompress(blob) == data
+
+    def test_pigz_profile_has_sync_points(self):
+        blob_pigz = gz_compress(self.DATA, "pigz")
+        blob_gzip = gz_compress(self.DATA, "gzip")
+        assert stdlib_gzip.decompress(blob_pigz) == self.DATA
+        # Full flushes reset the dictionary, so pigz output is >= plain.
+        assert len(blob_pigz) >= len(blob_gzip)
+
+    def test_profile_for_tool_mapping(self):
+        assert profile_for_tool("bgzip -0").level == 0
+        assert profile_for_tool("bgzip -0").bgzf
+        assert profile_for_tool("igzip -0").single_block
+        assert profile_for_tool("gzip -9").level == 9
+        assert profile_for_tool("pigz -1").flush_interval
+        with pytest.raises(UsageError):
+            profile_for_tool("brotli -5")
+
+    def test_level_zero_any_profile_is_stored(self):
+        blob = gz_compress(self.DATA, "gzip", level=0)
+        assert stdlib_gzip.decompress(blob) == self.DATA
+        assert len(blob) > len(self.DATA)
+
+
+class TestGzipWriterStreaming:
+    def test_streaming_single_member(self):
+        import io
+
+        sink = io.BytesIO()
+        with GzipWriter(sink, "gzip") as writer:
+            for piece in (b"alpha ", b"beta ", b"gamma"):
+                writer.write(piece)
+        assert stdlib_gzip.decompress(sink.getvalue()) == b"alpha beta gamma"
+
+    def test_streaming_bgzf_members_flush_incrementally(self):
+        import io
+
+        sink = io.BytesIO()
+        writer = GzipWriter(sink, "bgzf")
+        writer.write(b"x" * 200000)
+        mid_size = len(sink.getvalue())
+        assert mid_size > 0  # members emitted before close
+        writer.close()
+        assert stdlib_gzip.decompress(sink.getvalue()) == b"x" * 200000
+
+    def test_write_after_close_raises(self):
+        import io
+
+        writer = GzipWriter(io.BytesIO(), "gzip")
+        writer.close()
+        with pytest.raises(UsageError):
+            writer.write(b"late")
+
+    def test_empty_file(self):
+        import io
+
+        sink = io.BytesIO()
+        with GzipWriter(sink, "gzip") as writer:
+            pass
+        assert stdlib_gzip.decompress(sink.getvalue()) == b""

@@ -1,0 +1,119 @@
+"""Tests for the workload generators (paper-corpus substitutions)."""
+
+import tarfile
+import io
+import zlib
+
+import pytest
+
+from repro.datagen import (
+    BASE64_EXPECTED_RATIO,
+    FASTQ_EXPECTED_RATIO,
+    SILESIA_EXPECTED_RATIO,
+    build_tar,
+    count_fastq_records,
+    generate_base64,
+    generate_fastq,
+    generate_silesia_like,
+    silesia_members,
+)
+
+
+def ratio(data: bytes, level: int = 6) -> float:
+    return len(data) / len(zlib.compress(data, level))
+
+
+class TestBase64:
+    def test_size_exact(self):
+        assert len(generate_base64(12345, 1)) == 12345
+
+    def test_alphabet(self):
+        data = generate_base64(10000, 2)
+        allowed = set(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/=\n")
+        assert set(data) <= allowed
+
+    def test_deterministic(self):
+        assert generate_base64(5000, 3) == generate_base64(5000, 3)
+        assert generate_base64(5000, 3) != generate_base64(5000, 4)
+
+    def test_compression_ratio_matches_paper(self):
+        # Paper §4.4: "uniform data compression ratio of 1.315".
+        measured = ratio(generate_base64(1_000_000, 0))
+        assert abs(measured - BASE64_EXPECTED_RATIO) < 0.02
+
+    def test_empty(self):
+        assert generate_base64(0, 1) == b""
+
+
+class TestSilesiaLike:
+    def test_size(self):
+        assert len(generate_silesia_like(100_000, 1)) == 100_000
+
+    def test_ratio_near_paper(self):
+        # Paper: pigz-compressed Silesia has ratio ~3.1.
+        measured = ratio(generate_silesia_like(1_500_000, 0))
+        assert abs(measured - SILESIA_EXPECTED_RATIO) < 0.45
+
+    def test_members_have_distinct_character(self):
+        members = silesia_members(400_000, 1)
+        assert set(members) == {"dickens.txt", "nci.xml", "mozilla.c", "x-ray.bin"}
+        ratios = {name: ratio(data) for name, data in members.items()}
+        # Text/XML/source compress much better than the binary member.
+        assert ratios["nci.xml"] > ratios["x-ray.bin"]
+
+    def test_backreference_density_keeps_markers_alive(self):
+        # The Silesia-relevant property: matches keep occurring, so a
+        # two-stage decode of a mid-file chunk must still carry markers
+        # after 32 KiB (unlike base64 data). Check LZ matches are dense.
+        data = generate_silesia_like(300_000, 2)
+        only_huffman = len(zlib.compress(data, 6))
+        # Compressing the same bytes shuffled destroys matches; the gap
+        # shows how much of the ratio comes from LZ.
+        import numpy as np
+
+        shuffled = np.frombuffer(data, dtype=np.uint8).copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        no_matches = len(zlib.compress(shuffled.tobytes(), 6))
+        assert no_matches > only_huffman * 1.2
+
+    def test_deterministic(self):
+        assert generate_silesia_like(50_000, 9) == generate_silesia_like(50_000, 9)
+
+
+class TestFastq:
+    def test_structure(self):
+        data = generate_fastq(50_000, 1)
+        lines = data.split(b"\n")
+        assert lines[0].startswith(b"@")
+        assert lines[2] == b"+"
+        assert set(lines[1]) <= set(b"ACGT")
+        assert len(lines[1]) == len(lines[3])
+
+    def test_record_count(self):
+        data = generate_fastq(100_000, 2)
+        assert count_fastq_records(data) > 100
+
+    def test_ratio_near_paper(self):
+        measured = ratio(generate_fastq(1_000_000, 0))
+        assert abs(measured - FASTQ_EXPECTED_RATIO) < 0.45
+
+    def test_quality_range(self):
+        data = generate_fastq(20_000, 3)
+        lines = data.split(b"\n")
+        for quality in lines[3::4]:
+            if quality:
+                assert all(33 <= byte <= 75 for byte in quality)
+
+
+class TestTar:
+    def test_round_trip(self):
+        members = {"a.txt": b"alpha", "dir/b.bin": bytes(range(256))}
+        blob = build_tar(members)
+        with tarfile.open(fileobj=io.BytesIO(blob)) as tar:
+            assert tar.getnames() == ["a.txt", "dir/b.bin"]
+            assert tar.extractfile("a.txt").read() == b"alpha"
+            assert tar.extractfile("dir/b.bin").read() == bytes(range(256))
+
+    def test_deterministic(self):
+        members = {"x": b"1" * 1000}
+        assert build_tar(members) == build_tar(members)

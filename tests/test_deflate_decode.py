@@ -1,0 +1,205 @@
+"""Differential tests: our Deflate decoder vs stdlib zlib-produced streams."""
+
+import gzip as stdlib_gzip
+import os
+import random
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate import (
+    BLOCK_TYPE_DYNAMIC,
+    BLOCK_TYPE_FIXED,
+    BLOCK_TYPE_STORED,
+    inflate,
+    read_block_header,
+)
+from repro.errors import DeflateError, FormatError, IntegrityError
+from repro.gz import decompress, count_streams, iter_members
+from repro.io import BitReader
+
+
+def raw_deflate(data: bytes, level: int = 6) -> bytes:
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return compressor.compress(data) + compressor.flush()
+
+
+def make_test_corpus():
+    rng = random.Random(1234)
+    text = (b"the quick brown fox jumps over the lazy dog. " * 200)
+    repetitive = b"abcabcabc" * 500
+    binary = bytes(rng.randrange(256) for _ in range(3000))
+    sparse = b"\x00" * 5000 + b"x" + b"\x00" * 5000
+    return {
+        "empty": b"",
+        "single": b"A",
+        "text": text,
+        "repetitive": repetitive,
+        "binary": binary,
+        "sparse": sparse,
+        "mixed": text + binary + repetitive,
+    }
+
+
+CORPUS = make_test_corpus()
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+@pytest.mark.parametrize("level", [1, 6, 9])
+def test_inflate_zlib_streams(name, level):
+    data = CORPUS[name]
+    result = inflate(raw_deflate(data, level))
+    assert result.data == data
+    assert result.boundaries[0].bit_offset == 0
+    assert result.boundaries[-1].is_final
+
+
+def test_inflate_stored_blocks():
+    data = os.urandom(70000)  # incompressible -> stored blocks at level 0
+    compressed = raw_deflate(data, 0)
+    result = inflate(compressed)
+    assert result.data == data
+    assert all(b.block_type == BLOCK_TYPE_STORED for b in result.boundaries)
+    assert len(result.boundaries) >= 2  # stored blocks cap at 65535 bytes
+
+
+def test_inflate_fixed_block():
+    # Tiny inputs use the fixed Huffman code.
+    compressed = raw_deflate(b"hi", 6)
+    result = inflate(compressed)
+    assert result.data == b"hi"
+    assert result.boundaries[0].block_type == BLOCK_TYPE_FIXED
+
+
+def test_inflate_dynamic_block():
+    compressed = raw_deflate(CORPUS["text"], 9)
+    result = inflate(compressed)
+    assert result.boundaries[0].block_type == BLOCK_TYPE_DYNAMIC
+
+
+def test_inflate_with_preset_window():
+    window = b"0123456789" * 100
+    compressor = zlib.compressobj(6, zlib.DEFLATED, -15, zdict=window)
+    compressed = compressor.compress(window * 3) + compressor.flush()
+    result = inflate(compressed, window=window)
+    assert result.data == window * 3
+
+
+def test_inflate_end_bit_offset_points_past_stream():
+    data = CORPUS["text"]
+    compressed = raw_deflate(data)
+    result = inflate(compressed)
+    assert (result.end_bit_offset + 7) // 8 == len(compressed)
+
+
+def test_inflate_max_size_guard():
+    compressed = raw_deflate(b"x" * 100000)
+    with pytest.raises(DeflateError):
+        inflate(compressed, max_size=1000)
+
+
+def test_inflate_rejects_far_distance():
+    # Craft: distance pointing before stream start. A fixed block with a
+    # match at distance 100 but no preceding data.
+    from tests.deflate_writer_util import encode_fixed_block_with_match
+
+    stream = encode_fixed_block_with_match(distance=100)
+    with pytest.raises(DeflateError):
+        inflate(stream)
+
+
+def test_inflate_rejects_reserved_block_type():
+    reader = BitReader(bytes([0b110]))  # final=0, type=11
+    with pytest.raises(DeflateError):
+        read_block_header(reader)
+
+
+def test_inflate_rejects_bad_stored_length():
+    # final=1, type=00, padding, LEN=5, NLEN=wrong.
+    payload = bytes([0x01, 0x05, 0x00, 0x12, 0x34])
+    with pytest.raises(DeflateError):
+        inflate(payload)
+
+
+class TestGzipLayer:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_single_member(self, name):
+        data = CORPUS[name]
+        assert decompress(stdlib_gzip.compress(data)) == data
+
+    def test_multi_member(self):
+        blob = b"".join(stdlib_gzip.compress(CORPUS[n]) for n in sorted(CORPUS))
+        expected = b"".join(CORPUS[n] for n in sorted(CORPUS))
+        assert decompress(blob) == expected
+        assert count_streams(blob) == len(CORPUS)
+
+    def test_member_infos(self):
+        blob = stdlib_gzip.compress(b"first") + stdlib_gzip.compress(b"second!")
+        infos = [info for info, _data in iter_members(blob)]
+        assert infos[0].uncompressed_start == 0
+        assert infos[0].uncompressed_size == 5
+        assert infos[1].uncompressed_start == 5
+        assert infos[1].uncompressed_size == 7
+        assert infos[1].compressed_start > 0
+
+    def test_header_with_filename(self, tmp_path):
+        path = tmp_path / "named.txt"
+        path.write_bytes(b"content here")
+        gz_path = tmp_path / "named.txt.gz"
+        with open(path, "rb") as fin, stdlib_gzip.open(gz_path, "wb") as fout:
+            fout.write(fin.read())
+        infos = [info for info, _ in iter_members(gz_path.read_bytes())]
+        assert decompress(gz_path.read_bytes()) == b"content here"
+
+    def test_crc_mismatch_detected(self):
+        blob = bytearray(stdlib_gzip.compress(b"hello world"))
+        blob[-5] ^= 0xFF  # flip a CRC byte
+        with pytest.raises(IntegrityError):
+            decompress(bytes(blob))
+
+    def test_isize_mismatch_detected(self):
+        blob = bytearray(stdlib_gzip.compress(b"hello world"))
+        blob[-1] ^= 0xFF  # flip an ISIZE byte
+        with pytest.raises(IntegrityError):
+            decompress(bytes(blob))
+
+    def test_verify_false_skips_checks(self):
+        blob = bytearray(stdlib_gzip.compress(b"hello world"))
+        blob[-1] ^= 0xFF
+        assert decompress(bytes(blob), verify=False) == b"hello world"
+
+    def test_trailing_garbage_rejected(self):
+        blob = stdlib_gzip.compress(b"data") + b"NOT A GZIP STREAM"
+        with pytest.raises(FormatError):
+            decompress(blob)
+
+    def test_trailing_zero_padding_accepted(self):
+        blob = stdlib_gzip.compress(b"data") + bytes(64)
+        assert decompress(blob) == b"data"
+
+    def test_empty_member_between_members(self):
+        blob = (
+            stdlib_gzip.compress(b"a")
+            + stdlib_gzip.compress(b"")
+            + stdlib_gzip.compress(b"b")
+        )
+        assert decompress(blob) == b"ab"
+        assert count_streams(blob) == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=0, max_size=5000), level=st.integers(0, 9))
+def test_round_trip_zlib_to_ours(data, level):
+    """Property: decode(zlib.encode(x)) == x for any data and level."""
+    assert inflate(raw_deflate(data, level)).data == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pieces=st.lists(st.binary(min_size=0, max_size=800), min_size=1, max_size=5)
+)
+def test_multi_member_round_trip(pieces):
+    blob = b"".join(stdlib_gzip.compress(p) for p in pieces)
+    assert decompress(blob) == b"".join(pieces)

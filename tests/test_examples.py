@@ -1,0 +1,46 @@
+"""Smoke tests keeping the example scripts runnable.
+
+The two fastest examples run end to end; the slower ones (quickstart,
+random_access_tar, fastq_pipeline — minutes of pure-Python decoding) are
+exercised implicitly by the library tests and checked for syntax here.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(path.name for path in EXAMPLES.glob("*.py")),
+)
+def test_examples_compile(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+
+def test_scaling_simulation_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "scaling_simulation.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "speedup over GNU gzip at 128 cores" in result.stdout
+    assert "Figure 10" in result.stdout
+
+
+def test_recover_corrupted_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "recover_corrupted.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "tail verification" in result.stdout

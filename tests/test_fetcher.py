@@ -1,0 +1,226 @@
+"""Tests for the cache-and-prefetch chunk fetcher — the paper's core engine."""
+
+import gzip as stdlib_gzip
+import random
+
+import pytest
+
+from repro.cache import FetchNextFixed
+from repro.errors import UsageError
+from repro.fetcher import (
+    BlockMap,
+    ChunkRecord,
+    DEFAULT_CHUNK_SIZE,
+    GzipChunkFetcher,
+    decode_chunk_range,
+    shift_to_byte_alignment,
+    speculative_decode,
+)
+from repro.gz.writer import compress as gz_compress
+from repro.io import BitReader, MemoryFileReader
+from repro.gz.header import parse_gzip_header
+
+
+def ascii_data(size: int, seed: int = 0) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(33, 127) for _ in range(size))
+
+
+DATA = ascii_data(400_000)
+BLOB = stdlib_gzip.compress(DATA, 6)
+
+
+def deflate_start(blob: bytes) -> int:
+    reader = BitReader(blob)
+    parse_gzip_header(reader)
+    return reader.tell()
+
+
+class TestShiftToByteAlignment:
+    def test_zero_shift_is_identity(self):
+        reader = MemoryFileReader(b"abcdefgh")
+        assert shift_to_byte_alignment(reader, 8, 40) == b"bcde"
+
+    def test_bit_shift(self):
+        # 0xABCD little-endian bits; shifting by 4 merges nibbles.
+        reader = MemoryFileReader(bytes([0xCD, 0xAB, 0x12]))
+        shifted = shift_to_byte_alignment(reader, 4, 20)
+        assert shifted[0] == 0xBC
+        assert shifted[1] == 0x2A
+
+    def test_round_trip_through_zlib(self):
+        import zlib
+
+        payload = ascii_data(5000, 3)
+        raw = zlib.compress(payload, 6)[2:-4]
+        # Embed at a 3-bit offset and shift back out.
+        value = int.from_bytes(raw, "little") << 3 | 0b101
+        blob = value.to_bytes(len(raw) + 1, "little")
+        reader = MemoryFileReader(blob)
+        shifted = shift_to_byte_alignment(reader, 3, 3 + len(raw) * 8)
+        assert zlib.decompress(shifted, -15) == payload
+
+
+class TestDecodeChunkRange:
+    def test_full_stream(self):
+        reader = MemoryFileReader(BLOB)
+        result = decode_chunk_range(reader, deflate_start(BLOB), None, b"")
+        assert result.payload.materialize(b"") == DATA
+        assert result.end_bit is None
+        assert result.events[0].kind == "footer"
+
+    def test_stop_condition_splits_exactly(self):
+        reader = MemoryFileReader(BLOB)
+        start = deflate_start(BLOB)
+        stop = start + 80_000 * 8
+        first = decode_chunk_range(reader, start, stop, b"")
+        assert first.end_bit is not None
+        window = first.payload.window_at_end(b"")
+        second = decode_chunk_range(reader, first.end_bit, None, window)
+        combined = first.payload.materialize(b"") + second.payload.materialize(window)
+        assert combined == DATA
+
+    def test_speculative_two_stage_matches(self):
+        reader = MemoryFileReader(BLOB)
+        start = deflate_start(BLOB)
+        stop = start + 80_000 * 8
+        exact = decode_chunk_range(reader, start, stop, b"")
+        speculative = decode_chunk_range(reader, start, stop, None)
+        assert speculative.payload.materialize(b"") == exact.payload.materialize(b"")
+        assert speculative.end_bit == exact.end_bit
+
+
+class TestSpeculativeDecode:
+    def test_finds_chunk_in_interior(self):
+        reader = MemoryFileReader(BLOB)
+        chunk_size = 16 * 1024
+        result = speculative_decode(reader, 1, chunk_size)
+        assert result is not None
+        assert result.speculative
+        assert result.start_bit >= chunk_size * 8
+        # Its end must be findable as the next chunk's start.
+        assert result.end_bit is None or result.end_bit > result.start_bit
+
+    def test_no_candidate_in_stored_garbage(self):
+        # A window of a stored-block gzip of noise: candidates decode as
+        # stored-block false positives or nothing; either way the function
+        # must not loop forever and may return None.
+        noise = bytes(random.Random(9).randrange(256) for _ in range(80_000))
+        blob = gz_compress(noise, "gzip", level=0)
+        reader = MemoryFileReader(blob)
+        result = speculative_decode(reader, 0, 16 * 1024)
+        assert result is None or result.payload.length >= 0
+
+
+class TestGzipChunkFetcher:
+    def make(self, **kwargs):
+        kwargs.setdefault("parallelization", 2)
+        kwargs.setdefault("chunk_size", 32 * 1024)
+        return GzipChunkFetcher(BLOB, **kwargs)
+
+    def test_sequential_requests_follow_chain(self):
+        with self.make() as fetcher:
+            start = deflate_start(BLOB)
+            window = b""
+            output = bytearray()
+            while True:
+                result = fetcher.request(start, window)
+                output += result.payload.materialize(window)
+                if result.end_bit is None:
+                    break
+                window = (
+                    b"" if result.end_is_stream_start
+                    else result.payload.window_at_end(window)
+                )
+                start = result.end_bit
+            assert bytes(output) == DATA
+
+    def test_prefetch_produces_cache_hits(self):
+        with self.make(parallelization=4, strategy=FetchNextFixed()) as fetcher:
+            start = deflate_start(BLOB)
+            window = b""
+            while True:
+                result = fetcher.request(start, window)
+                if result.end_bit is None:
+                    break
+                window = result.payload.window_at_end(window)
+                start = result.end_bit
+            stats = fetcher.statistics()
+            assert stats["speculative_submitted"] > 0
+            assert stats["prefetch_cache"].hits > 0
+            # On-demand decodes stay rare: only the first chunk plus any
+            # speculative misfire.
+            assert stats["on_demand_decodes"] <= 2
+
+    def test_false_positive_results_never_corrupt_output(self):
+        # Stored-block files are the paper's false-positive breeding ground
+        # (§3.4): the payload contains valid-looking Deflate headers.
+        noise = ascii_data(300_000, seed=5)
+        blob = gz_compress(noise, "gzip", level=0)
+        fetcher = GzipChunkFetcher(
+            blob, parallelization=3, chunk_size=32 * 1024, detect_bgzf=False
+        )
+        try:
+            start = deflate_start(blob)
+            window = b""
+            output = bytearray()
+            while True:
+                result = fetcher.request(start, window)
+                output += result.payload.materialize(window)
+                if result.end_bit is None:
+                    break
+                window = result.payload.window_at_end(window)
+                start = result.end_bit
+            assert bytes(output) == noise
+        finally:
+            fetcher.close()
+
+    def test_invalid_configuration(self):
+        with pytest.raises(UsageError):
+            GzipChunkFetcher(BLOB, parallelization=0)
+        with pytest.raises(UsageError):
+            GzipChunkFetcher(BLOB, chunk_size=10)
+
+    def test_chunk_id_mapping_search_mode(self):
+        with self.make() as fetcher:
+            assert fetcher.mode == "search"
+            assert fetcher.chunk_id_for_bit(0) == 0
+            assert fetcher.chunk_id_for_bit(32 * 1024 * 8) == 1
+            assert fetcher.num_chunk_ids == -(-len(BLOB) // (32 * 1024))
+
+
+class TestBlockMap:
+    def record(self, start_bit, out_start, out_end, end_bit):
+        return ChunkRecord(start_bit, out_start, out_end, end_bit, b"", False)
+
+    def test_chaining_enforced(self):
+        block_map = BlockMap()
+        block_map.append(self.record(80, 0, 100, 500))
+        with pytest.raises(UsageError):
+            block_map.append(self.record(999, 100, 200, 700))  # bit gap
+        with pytest.raises(UsageError):
+            block_map.append(self.record(500, 150, 200, 700))  # output gap
+        block_map.append(self.record(500, 100, 200, None))
+        assert block_map.finalized
+
+    def test_first_record_must_start_at_zero(self):
+        block_map = BlockMap()
+        with pytest.raises(UsageError):
+            block_map.append(self.record(80, 5, 100, 500))
+
+    def test_lookup(self):
+        block_map = BlockMap()
+        block_map.append(self.record(80, 0, 100, 500))
+        block_map.append(self.record(500, 100, 250, None))
+        assert block_map.chunk_index_for_output(0) == 0
+        assert block_map.chunk_index_for_output(99) == 0
+        assert block_map.chunk_index_for_output(100) == 1
+        assert block_map.known_size == 250
+        with pytest.raises(IndexError):
+            block_map.chunk_index_for_output(250)
+
+    def test_append_after_finalize_rejected(self):
+        block_map = BlockMap()
+        block_map.append(self.record(80, 0, 100, None))
+        with pytest.raises(UsageError):
+            block_map.append(self.record(500, 100, 200, None))

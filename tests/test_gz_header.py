@@ -1,0 +1,144 @@
+"""Tests for gzip header/footer parsing and serialization (RFC 1952)."""
+
+import gzip as stdlib_gzip
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GzipHeaderError, TruncatedError
+from repro.gz.header import (
+    FEXTRA,
+    FHCRC,
+    FNAME,
+    GzipHeader,
+    parse_gzip_footer,
+    parse_gzip_header,
+    serialize_gzip_footer,
+    serialize_gzip_header,
+)
+from repro.io import BitReader
+
+
+def parse(blob: bytes) -> GzipHeader:
+    return parse_gzip_header(BitReader(blob))
+
+
+class TestParse:
+    def test_minimal_header(self):
+        header = parse(bytes.fromhex("1f8b0800000000000003") + b"x")
+        assert header.size_bytes == 10
+        assert header.name is None
+        assert header.os == 3
+
+    def test_stdlib_header_with_name(self, tmp_path):
+        sink = io.BytesIO()
+        with stdlib_gzip.GzipFile("myfile.txt", "wb", fileobj=sink, mtime=12345) as gz:
+            gz.write(b"payload")
+        header = parse(sink.getvalue())
+        assert header.name == "myfile.txt"
+        assert header.mtime == 12345
+
+    def test_bad_magic(self):
+        with pytest.raises(GzipHeaderError):
+            parse(b"PK\x03\x04" + bytes(20))
+
+    def test_bad_method(self):
+        with pytest.raises(GzipHeaderError):
+            parse(b"\x1f\x8b\x07" + bytes(20))
+
+    def test_reserved_flags(self):
+        with pytest.raises(GzipHeaderError):
+            parse(b"\x1f\x8b\x08\x80" + bytes(20))
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedError):
+            parse(b"\x1f\x8b\x08")
+
+    def test_truncated_name(self):
+        blob = serialize_gzip_header(name="unterminated")[:-1]
+        with pytest.raises(TruncatedError):
+            parse(blob)
+
+
+class TestRoundTrip:
+    def test_all_fields(self):
+        blob = serialize_gzip_header(
+            ftext=True,
+            mtime=987654,
+            xfl=2,
+            os=7,
+            extra=b"AB\x03\x00xyz",
+            name="data.bin",
+            comment="created by tests",
+            header_crc=True,
+        )
+        header = parse(blob + b"\x00")
+        assert header.ftext
+        assert header.mtime == 987654
+        assert header.xfl == 2
+        assert header.os == 7
+        assert header.extra == b"AB\x03\x00xyz"
+        assert header.name == "data.bin"
+        assert header.comment == "created by tests"
+        assert header.header_crc16 is not None
+        assert header.size_bytes == len(blob)
+
+    def test_header_crc_detects_corruption(self):
+        blob = bytearray(serialize_gzip_header(name="x", header_crc=True))
+        blob[12] ^= 0xFF  # flip a name byte
+        with pytest.raises(GzipHeaderError):
+            parse(bytes(blob) + b"\x00")
+
+    def test_extra_subfields(self):
+        extra = b"BC" + (2).to_bytes(2, "little") + (511).to_bytes(2, "little")
+        blob = serialize_gzip_header(extra=extra)
+        header = parse(blob + b"\x00")
+        fields = header.extra_subfields()
+        assert fields == [(0x42, 0x43, (511).to_bytes(2, "little"))]
+
+    def test_stdlib_accepts_our_headers(self):
+        import zlib
+
+        payload = b"interop check"
+        deflated = zlib.compress(payload, 6)[2:-4]
+        blob = (
+            serialize_gzip_header(name="interop", mtime=1)
+            + deflated
+            + serialize_gzip_footer(zlib.crc32(payload), len(payload))
+        )
+        assert stdlib_gzip.decompress(blob) == payload
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        mtime=st.integers(0, 2**32 - 1),
+        name=st.one_of(st.none(), st.text(
+            alphabet=st.characters(min_codepoint=1, max_codepoint=255), max_size=30)),
+        ftext=st.booleans(),
+        header_crc=st.booleans(),
+    )
+    def test_property_round_trip(self, mtime, name, ftext, header_crc):
+        blob = serialize_gzip_header(
+            mtime=mtime, name=name, ftext=ftext, header_crc=header_crc
+        )
+        header = parse(blob + b"\x00")
+        assert header.mtime == mtime
+        assert header.name == name
+        assert header.ftext == ftext
+
+
+class TestFooter:
+    def test_round_trip(self):
+        blob = serialize_gzip_footer(0xDEADBEEF, 123456)
+        footer = parse_gzip_footer(BitReader(blob))
+        assert footer.crc32 == 0xDEADBEEF
+        assert footer.isize == 123456
+
+    def test_isize_wraps_at_2_32(self):
+        blob = serialize_gzip_footer(0, 2**32 + 7)
+        assert parse_gzip_footer(BitReader(blob)).isize == 7
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedError):
+            parse_gzip_footer(BitReader(b"\x01\x02\x03"))

@@ -1,0 +1,257 @@
+"""Tests for canonical Huffman decoding, classification, and encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HuffmanError
+from repro.huffman import (
+    BitwiseDecoder,
+    CanonicalDecoder,
+    CodeClassification,
+    FIXED_LITERAL_LENGTHS,
+    build_canonical_code,
+    canonical_codes_from_lengths,
+    classify_code_lengths,
+    fixed_distance_decoder,
+    fixed_literal_decoder,
+    package_merge_lengths,
+)
+from repro.io import BitReader
+
+
+class TestClassification:
+    """Paper Figure 6: the three example codes."""
+
+    def test_figure6_left_invalid(self):
+        # Lengths 1,1,1: a third 1-bit symbol cannot exist.
+        assert classify_code_lengths([1, 1, 1]) is CodeClassification.INVALID
+
+    def test_figure6_middle_non_optimal(self):
+        # Lengths 2,2,2: code 11 is unused.
+        assert classify_code_lengths([2, 2, 2]) is CodeClassification.NON_OPTIMAL
+
+    def test_figure6_right_valid(self):
+        # Lengths 2,2,1: all leaves used.
+        assert classify_code_lengths([2, 2, 1]) is CodeClassification.VALID
+
+    def test_empty(self):
+        assert classify_code_lengths([]) is CodeClassification.EMPTY
+        assert classify_code_lengths([0, 0, 0]) is CodeClassification.EMPTY
+
+    def test_single_symbol_non_optimal(self):
+        assert classify_code_lengths([1]) is CodeClassification.NON_OPTIMAL
+
+    def test_deep_valid_code(self):
+        # 1, 2, 3, ..., n-1, n-1 is always complete.
+        lengths = list(range(1, 15)) + [14]
+        assert classify_code_lengths(lengths) is CodeClassification.VALID
+
+    def test_fixed_tables_are_valid(self):
+        assert classify_code_lengths(FIXED_LITERAL_LENGTHS) is CodeClassification.VALID
+        assert classify_code_lengths([5] * 32) is CodeClassification.VALID
+
+    def test_zero_lengths_ignored(self):
+        assert classify_code_lengths([0, 2, 0, 2, 1, 0]) is CodeClassification.VALID
+
+    def test_negative_length_raises(self):
+        with pytest.raises(HuffmanError):
+            classify_code_lengths([1, -1])
+
+
+class TestCanonicalCodes:
+    def test_rfc1951_example(self):
+        # RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) for A..H.
+        codes = canonical_codes_from_lengths([3, 3, 3, 3, 3, 2, 4, 4])
+        assert codes == [0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+
+    def test_zero_length_gives_none(self):
+        codes = canonical_codes_from_lengths([0, 1, 1])
+        assert codes == [None, 0b0, 0b1]
+
+    def test_oversubscribed_raises(self):
+        with pytest.raises(HuffmanError):
+            canonical_codes_from_lengths([1, 1, 1])
+
+    def test_codes_are_prefix_free(self):
+        lengths = [4, 4, 4, 4, 4, 3, 3, 3, 2]
+        codes = canonical_codes_from_lengths(lengths)
+        bits = [format(c, f"0{l}b") for c, l in zip(codes, lengths)]
+        for i, a in enumerate(bits):
+            for j, b in enumerate(bits):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+def encode_symbols(lengths, symbols) -> bytes:
+    """Encode symbols with the canonical code, Deflate bit order."""
+    codes = canonical_codes_from_lengths(lengths)
+    accumulator = 0
+    bit_count = 0
+    for symbol in symbols:
+        code, length = codes[symbol], lengths[symbol]
+        # Deflate writes Huffman codes MSB-first into the LSB-first stream.
+        reversed_code = int(format(code, f"0{length}b")[::-1], 2)
+        accumulator |= reversed_code << bit_count
+        bit_count += length
+    total_bytes = (bit_count + 7) // 8
+    return accumulator.to_bytes(max(total_bytes, 1), "little")
+
+
+class TestCanonicalDecoder:
+    LENGTHS = [2, 2, 2, 3, 4, 4]
+
+    def test_round_trip(self):
+        symbols = [0, 5, 3, 2, 1, 4, 0, 0, 5]
+        data = encode_symbols(self.LENGTHS, symbols)
+        decoder = CanonicalDecoder(self.LENGTHS)
+        reader = BitReader(data)
+        assert [decoder.decode(reader) for _ in symbols] == symbols
+
+    def test_rejects_incomplete_by_default(self):
+        with pytest.raises(HuffmanError):
+            CanonicalDecoder([2, 2, 2])
+
+    def test_allow_incomplete(self):
+        decoder = CanonicalDecoder([1], allow_incomplete=True)
+        reader = BitReader(b"\x00")
+        assert decoder.decode(reader) == 0
+
+    def test_incomplete_invalid_prefix_raises(self):
+        decoder = CanonicalDecoder([2, 2, 2], allow_incomplete=True)
+        reader = BitReader(b"\xff")  # prefix 11 unused
+        with pytest.raises(HuffmanError):
+            decoder.decode(reader)
+
+    def test_rejects_empty(self):
+        with pytest.raises(HuffmanError):
+            CanonicalDecoder([0, 0])
+
+    def test_rejects_oversubscribed(self):
+        with pytest.raises(HuffmanError):
+            CanonicalDecoder([1, 1, 1])
+
+    def test_rejects_too_long(self):
+        with pytest.raises(HuffmanError):
+            CanonicalDecoder([16, 16])
+
+    def test_fixed_literal_decoder_spot_checks(self):
+        decoder = fixed_literal_decoder()
+        # Symbol 0 has the 8-bit code 00110000 (RFC 1951 §3.2.6).
+        reader = BitReader(encode_symbols(FIXED_LITERAL_LENGTHS, [0, 255, 256, 287]))
+        assert decoder.decode(reader) == 0
+        assert decoder.decode(reader) == 255
+        assert decoder.decode(reader) == 256
+        assert decoder.decode(reader) == 287
+
+    def test_fixed_distance_decoder(self):
+        decoder = fixed_distance_decoder()
+        reader = BitReader(encode_symbols([5] * 32, list(range(30))))
+        assert [decoder.decode(reader) for _ in range(30)] == list(range(30))
+
+
+@st.composite
+def valid_length_sets(draw):
+    """Generate random complete canonical codes by splitting leaves."""
+    # Start from one leaf at depth 0 and repeatedly split a random leaf.
+    leaves = [0]
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        index = draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        if leaves[index] >= 15:
+            continue
+        depth = leaves.pop(index) + 1
+        leaves.extend([depth, depth])
+    return leaves
+
+
+@settings(max_examples=60, deadline=None)
+@given(lengths=valid_length_sets(), data=st.data())
+def test_lut_decoder_matches_bitwise_reference(lengths, data):
+    """Property: LUT decoder == bit-by-bit reference on random symbols."""
+    if classify_code_lengths(lengths) is not CodeClassification.VALID:
+        return
+    symbols = data.draw(
+        st.lists(st.integers(0, len(lengths) - 1), min_size=1, max_size=30)
+    )
+    payload = encode_symbols(lengths, symbols)
+    fast = CanonicalDecoder(lengths)
+    slow = BitwiseDecoder(lengths)
+    reader_fast, reader_slow = BitReader(payload), BitReader(payload)
+    for expected in symbols:
+        assert fast.decode(reader_fast) == expected
+        assert slow.decode(reader_slow) == expected
+
+
+class TestPackageMerge:
+    def test_empty(self):
+        assert package_merge_lengths([0, 0], 15) == [0, 0]
+
+    def test_single_symbol_gets_length_one(self):
+        assert package_merge_lengths([0, 7, 0], 15) == [0, 1, 0]
+
+    def test_two_symbols(self):
+        assert package_merge_lengths([3, 9], 15) == [1, 1]
+
+    def test_uniform_frequencies_power_of_two(self):
+        lengths = package_merge_lengths([5] * 8, 15)
+        assert lengths == [3] * 8
+
+    def test_matches_unlimited_huffman_when_shallow(self):
+        # Fibonacci-ish frequencies produce a skewed but shallow tree.
+        freqs = [1, 1, 2, 3, 5, 8, 13, 21]
+        lengths = package_merge_lengths(freqs, 15)
+        assert classify_code_lengths(lengths) is CodeClassification.VALID
+        # Optimal cost equals classic Huffman cost for this input: the sum
+        # of all internal-node weights is 2+4+7+12+20+33+54 = 132.
+        assert sum(f * l for f, l in zip(freqs, lengths)) == 132
+
+    def test_length_limit_enforced(self):
+        freqs = [1 << i for i in range(20)]  # would want depth 19 unlimited
+        lengths = package_merge_lengths(freqs, 15)
+        assert max(lengths) <= 15
+        assert classify_code_lengths(lengths) is CodeClassification.VALID
+
+    def test_limit_too_tight_raises(self):
+        from repro.errors import UsageError
+
+        with pytest.raises(UsageError):
+            package_merge_lengths([1] * 5, 2)
+
+    def test_build_canonical_code(self):
+        lengths, codes = build_canonical_code([4, 0, 2, 1], 15)
+        assert codes[1] is None
+        assert classify_code_lengths(lengths) is CodeClassification.VALID
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    freqs=st.lists(st.integers(0, 1000), min_size=2, max_size=60),
+    limit=st.integers(7, 15),
+)
+def test_package_merge_produces_decodable_codes(freqs, limit):
+    """Property: package-merge output is always a usable canonical code."""
+    used = sum(1 for f in freqs if f)
+    if used > (1 << limit):
+        return
+    lengths = package_merge_lengths(freqs, limit)
+    assert max(lengths, default=0) <= limit
+    for freq, length in zip(freqs, lengths):
+        assert (length > 0) == (freq > 0)
+    classification = classify_code_lengths(lengths)
+    if used == 0:
+        assert classification is CodeClassification.EMPTY
+    elif used == 1:
+        assert classification is CodeClassification.NON_OPTIMAL
+    else:
+        assert classification is CodeClassification.VALID
+
+
+@settings(max_examples=40, deadline=None)
+@given(freqs=st.lists(st.integers(1, 500), min_size=2, max_size=40))
+def test_package_merge_cost_not_worse_than_balanced(freqs):
+    """Optimality sanity: cost <= flat ceil(log2(n))-bit coding cost."""
+    import math
+
+    lengths = package_merge_lengths(freqs, 15)
+    flat = math.ceil(math.log2(len(freqs)))
+    assert sum(f * l for f, l in zip(freqs, lengths)) <= sum(f * flat for f in freqs) + len(freqs)

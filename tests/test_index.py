@@ -1,0 +1,122 @@
+"""Tests for the seek-point index and its serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, UsageError
+from repro.index import GzipIndex, INDEX_MAGIC, SeekPoint
+
+
+def make_index(points=3, finalized=True) -> GzipIndex:
+    index = GzipIndex()
+    for i in range(points):
+        index.add(
+            SeekPoint(
+                compressed_bit_offset=100 + i * 1000,
+                uncompressed_offset=i * 5000,
+                window=bytes([i]) * (0 if i == 0 else 32768),
+                is_stream_start=(i == 0),
+            )
+        )
+    if finalized:
+        index.finalize(points * 5000, 100 + points * 1000)
+    return index
+
+
+class TestIndexBasics:
+    def test_add_and_lookup(self):
+        index = make_index()
+        assert len(index) == 3
+        assert index.find(0).uncompressed_offset == 0
+        assert index.find(4999).uncompressed_offset == 0
+        assert index.find(5000).uncompressed_offset == 5000
+        assert index.find(10**9).uncompressed_offset == 10000
+
+    def test_out_of_order_add_rejected(self):
+        index = make_index(2, finalized=False)
+        with pytest.raises(UsageError):
+            index.add(SeekPoint(50, 100, b""))
+
+    def test_add_after_finalize_rejected(self):
+        index = make_index()
+        with pytest.raises(UsageError):
+            index.add(SeekPoint(10**6, 10**6, b""))
+
+    def test_find_on_empty_raises(self):
+        with pytest.raises(UsageError):
+            GzipIndex().find(0)
+
+    def test_index_of(self):
+        index = make_index()
+        assert index.index_of(5000) == 1
+        with pytest.raises(UsageError):
+            index.index_of(1234)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        index = make_index()
+        data = index.to_bytes()
+        assert data.startswith(INDEX_MAGIC)
+        loaded = GzipIndex.from_bytes(data)
+        assert loaded.finalized
+        assert loaded.uncompressed_size == index.uncompressed_size
+        assert loaded.compressed_size_bits == index.compressed_size_bits
+        assert len(loaded) == len(index)
+        for original, restored in zip(index, loaded):
+            assert original == restored
+
+    def test_unfinalized_round_trip(self):
+        index = make_index(finalized=False)
+        loaded = GzipIndex.from_bytes(index.to_bytes())
+        assert not loaded.finalized
+
+    def test_windows_compressed_in_file(self):
+        index = make_index()
+        # 2 x 32 KiB of constant windows must compress to far less.
+        assert len(index.to_bytes()) < 10_000
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError):
+            GzipIndex.from_bytes(b"NOTANIDX" + bytes(100))
+
+    def test_truncated_rejected(self):
+        data = make_index().to_bytes()
+        with pytest.raises(FormatError):
+            GzipIndex.from_bytes(data[: len(data) - 10])
+
+    def test_save_load_path(self, tmp_path):
+        path = tmp_path / "file.idx"
+        index = make_index()
+        index.save(path)
+        assert GzipIndex.load(path).uncompressed_size == index.uncompressed_size
+
+    def test_save_load_fileobj(self):
+        sink = io.BytesIO()
+        make_index().save(sink)
+        sink.seek(0)
+        assert len(GzipIndex.load(sink)) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    offsets=st.lists(
+        st.tuples(st.integers(1, 10**6), st.integers(0, 10**6)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_serialization_round_trip(offsets):
+    """Property: to_bytes/from_bytes is the identity for any valid index."""
+    index = GzipIndex()
+    compressed_bit = 0
+    uncompressed = 0
+    for compressed_delta, uncompressed_delta in offsets:
+        compressed_bit += compressed_delta
+        index.add(SeekPoint(compressed_bit, uncompressed, bytes(16)))
+        uncompressed += uncompressed_delta
+    loaded = GzipIndex.from_bytes(index.to_bytes())
+    assert loaded.seek_points == index.seek_points

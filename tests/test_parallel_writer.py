@@ -1,0 +1,115 @@
+"""Tests for the parallel gzip compressor (pigz/bgzip counterpart)."""
+
+import gzip as stdlib_gzip
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import generate_silesia_like
+from repro.errors import UsageError
+from repro.gz import count_streams
+from repro.gz.bgzf import is_bgzf
+from repro.gz.parallel_writer import ParallelGzipWriter, compress_parallel
+from repro.reader import decompress_parallel
+
+DATA = generate_silesia_like(600_000, seed=13)
+
+
+class TestCompressParallel:
+    @pytest.mark.parametrize("layout", ["members", "bgzf"])
+    @pytest.mark.parametrize("parallelization", [1, 3])
+    def test_stdlib_round_trip(self, layout, parallelization):
+        blob = compress_parallel(
+            DATA, parallelization=parallelization, chunk_size=64 * 1024,
+            layout=layout,
+        )
+        assert stdlib_gzip.decompress(blob) == DATA
+
+    def test_our_parallel_reader_round_trip(self):
+        blob = compress_parallel(DATA, parallelization=2, chunk_size=64 * 1024)
+        assert decompress_parallel(blob, 3, chunk_size=32 * 1024) == DATA
+
+    def test_members_layout_has_many_members(self):
+        blob = compress_parallel(DATA, chunk_size=64 * 1024)
+        assert count_streams(blob) == -(-len(DATA) // (64 * 1024))
+
+    def test_bgzf_layout_detected(self):
+        blob = compress_parallel(DATA, chunk_size=60_000, layout="bgzf")
+        assert is_bgzf(blob)
+        assert decompress_parallel(blob, 2) == DATA
+
+    def test_output_order_deterministic(self):
+        one = compress_parallel(DATA, parallelization=1, chunk_size=32 * 1024)
+        four = compress_parallel(DATA, parallelization=4, chunk_size=32 * 1024)
+        assert one == four  # member order must not depend on scheduling
+
+    def test_compression_actually_happens(self):
+        blob = compress_parallel(DATA, chunk_size=64 * 1024, level=6)
+        assert len(blob) < len(DATA) // 2
+
+    def test_empty_input(self):
+        blob = compress_parallel(b"")
+        assert stdlib_gzip.decompress(blob) == b""
+
+    def test_bgzf_chunk_size_clamped(self):
+        blob = compress_parallel(
+            DATA[:200_000], chunk_size=10**6, layout="bgzf"
+        )
+        assert stdlib_gzip.decompress(blob) == DATA[:200_000]
+
+
+class TestStreamingWriter:
+    def test_incremental_writes(self):
+        sink = io.BytesIO()
+        with ParallelGzipWriter(sink, parallelization=2, chunk_size=16 * 1024) as writer:
+            for start in range(0, len(DATA), 7000):
+                writer.write(DATA[start : start + 7000])
+        assert stdlib_gzip.decompress(sink.getvalue()) == DATA
+
+    def test_members_flush_before_close(self):
+        sink = io.BytesIO()
+        writer = ParallelGzipWriter(sink, parallelization=2, chunk_size=8 * 1024)
+        writer.write(DATA[:200_000])
+        # Backpressure drains some members before close.
+        assert len(sink.getvalue()) > 0 or len(writer._pending) <= writer._max_pending
+        writer.close()
+        assert stdlib_gzip.decompress(sink.getvalue()) == DATA[:200_000]
+
+    def test_write_after_close_raises(self):
+        writer = ParallelGzipWriter(io.BytesIO())
+        writer.close()
+        with pytest.raises(UsageError):
+            writer.write(b"late")
+
+    def test_double_close_is_noop(self):
+        sink = io.BytesIO()
+        writer = ParallelGzipWriter(sink)
+        writer.write(b"abc")
+        writer.close()
+        size = len(sink.getvalue())
+        writer.close()
+        assert len(sink.getvalue()) == size
+
+    def test_invalid_layout(self):
+        with pytest.raises(UsageError):
+            ParallelGzipWriter(io.BytesIO(), layout="zip")
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(UsageError):
+            ParallelGzipWriter(io.BytesIO(), chunk_size=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.binary(max_size=60_000),
+    chunk_size=st.integers(512, 20_000),
+    layout=st.sampled_from(["members", "bgzf"]),
+)
+def test_property_round_trip(data, chunk_size, layout):
+    blob = compress_parallel(
+        data, parallelization=2, chunk_size=chunk_size, layout=layout
+    )
+    assert stdlib_gzip.decompress(blob) == data
+    assert decompress_parallel(blob, 2) == data

@@ -1,0 +1,142 @@
+"""Tests for the bit-parallel precode histogram machinery (paper §3.4.2)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.huffman import (
+    CodeClassification,
+    MAX_PRECODE_SYMBOLS,
+    VALID_HISTOGRAM_COUNT,
+    classify_code_lengths,
+    classify_packed_histogram,
+    enumerate_valid_histograms,
+    histogram_counts,
+    is_acceptable_precode_histogram,
+    packed_histogram,
+    packed_histogram_lut,
+    quick_reject,
+)
+
+
+def pack_triplets(lengths):
+    bits = 0
+    for index, length in enumerate(lengths):
+        bits |= length << (3 * index)
+    return bits
+
+
+class TestPackedHistogram:
+    def test_simple(self):
+        packed = packed_histogram(pack_triplets([1, 2, 2, 7]), 4)
+        counts = histogram_counts(packed)
+        assert counts == [0, 1, 2, 0, 0, 0, 0, 1]
+
+    def test_count_limits_respected(self):
+        # 19 identical lengths must not overflow a 5-bit field.
+        packed = packed_histogram(pack_triplets([5] * 19), 19)
+        assert histogram_counts(packed)[5] == 19
+
+    def test_zero_lengths_counted_in_field_zero(self):
+        packed = packed_histogram(pack_triplets([0, 0, 3]), 3)
+        counts = histogram_counts(packed)
+        assert counts[0] == 2 and counts[3] == 1
+
+    def test_partial_read_ignores_higher_triplets(self):
+        bits = pack_triplets([1, 1, 7, 7, 7])
+        packed = packed_histogram(bits, 2)
+        assert histogram_counts(packed) == [0, 2, 0, 0, 0, 0, 0, 0]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lengths=st.lists(st.integers(0, 7), min_size=0, max_size=MAX_PRECODE_SYMBOLS)
+)
+def test_lut_histogram_matches_loop(lengths):
+    """Property: the 4-triplet LUT builder equals the plain loop."""
+    bits = pack_triplets(lengths)
+    assert packed_histogram_lut(bits, len(lengths)) == packed_histogram(
+        bits, len(lengths)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lengths=st.lists(st.integers(0, 7), min_size=1, max_size=MAX_PRECODE_SYMBOLS)
+)
+def test_packed_classification_matches_list_classification(lengths):
+    """Property: packed-histogram walk == general classifier."""
+    packed = packed_histogram(pack_triplets(lengths), len(lengths))
+    assert classify_packed_histogram(packed) is classify_code_lengths(lengths)
+
+
+class TestQuickReject:
+    def test_never_rejects_valid(self):
+        for packed in enumerate_valid_histograms():
+            assert not quick_reject(packed), histogram_counts(packed)
+
+    def test_rejects_obviously_invalid(self):
+        packed = packed_histogram(pack_triplets([1, 1, 1]), 3)
+        assert quick_reject(packed)
+
+    def test_rejects_saturated_level_one_with_followers(self):
+        packed = packed_histogram(pack_triplets([1, 1, 2]), 3)
+        assert quick_reject(packed)
+
+    def test_does_not_reject_open_prefix(self):
+        # c1=1 leaves room; deeper levels unknown to the LUT.
+        packed = packed_histogram(pack_triplets([1]), 1)
+        assert not quick_reject(packed)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(0, 7), min_size=1, max_size=MAX_PRECODE_SYMBOLS)
+    )
+    def test_quick_reject_is_sound(self, lengths):
+        """Property: quick_reject never fires on a valid histogram."""
+        packed = packed_histogram(pack_triplets(lengths), len(lengths))
+        if classify_packed_histogram(packed) is CodeClassification.VALID:
+            assert not quick_reject(packed)
+
+
+class TestValidHistogramEnumeration:
+    def test_count_matches_paper(self):
+        # Paper §3.4.2: "only 1526 Precode frequency histograms belong to
+        # valid Huffman codes".
+        assert len(enumerate_valid_histograms()) == VALID_HISTOGRAM_COUNT
+
+    def test_all_enumerated_are_acceptable(self):
+        for packed in enumerate_valid_histograms():
+            assert is_acceptable_precode_histogram(packed)
+
+    def test_enumeration_is_exhaustive_by_sampling(self):
+        valid = set(enumerate_valid_histograms())
+        rng = random.Random(42)
+        for _ in range(500):
+            lengths = [rng.randint(0, 7) for _ in range(rng.randint(1, 19))]
+            packed = packed_histogram(pack_triplets(lengths), len(lengths))
+            if classify_packed_histogram(packed) is CodeClassification.VALID:
+                assert packed in valid
+
+    def test_symbol_budget_respected(self):
+        for packed in enumerate_valid_histograms():
+            assert sum(histogram_counts(packed)[1:]) <= MAX_PRECODE_SYMBOLS
+
+
+class TestAcceptablePrecode:
+    def test_single_symbol_accepted(self):
+        packed = packed_histogram(pack_triplets([1]), 1)
+        assert is_acceptable_precode_histogram(packed)
+
+    def test_single_long_symbol_rejected(self):
+        # One symbol of length 3 is not the canonical degenerate form.
+        packed = packed_histogram(pack_triplets([3]), 1)
+        assert not is_acceptable_precode_histogram(packed)
+
+    def test_non_optimal_rejected(self):
+        packed = packed_histogram(pack_triplets([2, 2, 2]), 3)
+        assert not is_acceptable_precode_histogram(packed)
+
+    def test_empty_rejected(self):
+        assert not is_acceptable_precode_histogram(0)

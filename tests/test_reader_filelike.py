@@ -1,0 +1,90 @@
+"""File-like API surface of ParallelGzipReader (readline/iter/readinto/peek)."""
+
+import gzip as stdlib_gzip
+import io
+
+import pytest
+
+from repro.reader import ParallelGzipReader
+
+LINES = b"".join(b"line %05d with some padding text\n" % i for i in range(3000))
+BLOB = stdlib_gzip.compress(LINES, 6)
+
+
+def reader(**kwargs):
+    kwargs.setdefault("parallelization", 2)
+    kwargs.setdefault("chunk_size", 8 * 1024)
+    return ParallelGzipReader(BLOB, **kwargs)
+
+
+class TestReadline:
+    def test_first_line(self):
+        with reader() as r:
+            assert r.readline() == b"line 00000 with some padding text\n"
+
+    def test_matches_bytesio(self):
+        with reader() as r:
+            ref = io.BytesIO(LINES)
+            for _ in range(100):
+                assert r.readline() == ref.readline()
+                assert r.tell() == ref.tell()
+
+    def test_limit(self):
+        with reader() as r:
+            piece = r.readline(5)
+            assert piece == b"line "
+            assert r.tell() == 5
+
+    def test_line_spanning_chunks(self):
+        long_line = b"x" * 50_000 + b"\n" + b"short\n"
+        blob = stdlib_gzip.compress(long_line)
+        with ParallelGzipReader(blob, chunk_size=8 * 1024) as r:
+            assert r.readline() == b"x" * 50_000 + b"\n"
+            assert r.readline() == b"short\n"
+
+    def test_no_trailing_newline(self):
+        blob = stdlib_gzip.compress(b"no newline at end")
+        with ParallelGzipReader(blob) as r:
+            assert r.readline() == b"no newline at end"
+            assert r.readline() == b""
+
+
+class TestIteration:
+    def test_iterates_all_lines(self):
+        with reader() as r:
+            lines = list(r)
+        assert lines == LINES.splitlines(keepends=True)
+
+    def test_iteration_resumes_after_seek(self):
+        with reader() as r:
+            r.seek(len(b"line 00000 with some padding text\n"))
+            assert next(r) == b"line 00001 with some padding text\n"
+
+
+class TestReadIntoAndPeek:
+    def test_readinto(self):
+        with reader() as r:
+            buffer = bytearray(10)
+            assert r.readinto(buffer) == 10
+            assert bytes(buffer) == LINES[:10]
+            assert r.tell() == 10
+
+    def test_readinto_at_eof(self):
+        with reader() as r:
+            r.seek(0, io.SEEK_END)
+            buffer = bytearray(10)
+            assert r.readinto(buffer) == 0
+
+    def test_peek_does_not_advance(self):
+        with reader() as r:
+            r.seek(100)
+            peeked = r.peek(20)
+            assert peeked == LINES[100:120]
+            assert r.tell() == 100
+            assert r.read(20) == peeked
+
+    def test_text_wrapper_compatibility(self):
+        # io.TextIOWrapper over the reader: a realistic consumer.
+        with reader() as r:
+            text = io.TextIOWrapper(r, encoding="ascii")
+            assert text.readline() == "line 00000 with some padding text\n"

@@ -1,0 +1,279 @@
+"""Tests for the performance simulator: structure, monotonicity, and the
+paper's qualitative findings (who wins, where the knees fall)."""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.sim import (
+    CostModel,
+    OrderedConsumer,
+    TABLE3_ROWS,
+    WORKLOADS,
+    WorkerPool,
+    simulate_pugz,
+    simulate_rapidgzip,
+    simulate_single_threaded,
+    table3_workload,
+    tool_bandwidth,
+)
+
+MODEL = CostModel.from_paper()
+GB = 1e9
+
+
+def rapid(P, workload="base64", *, per_core=512 * 1024 * 1024, **kwargs):
+    return simulate_rapidgzip(
+        P, WORKLOADS[workload], MODEL, uncompressed_size=per_core * P, **kwargs
+    )
+
+
+class TestEventPrimitives:
+    def test_worker_pool_serializes_one_worker(self):
+        pool = WorkerPool(1)
+        assert pool.run(0.0, 2.0) == 2.0
+        assert pool.run(0.0, 3.0) == 5.0
+
+    def test_worker_pool_parallelizes(self):
+        pool = WorkerPool(4)
+        finishes = [pool.run(0.0, 1.0) for _ in range(4)]
+        assert finishes == [1.0] * 4
+
+    def test_worker_pool_respects_ready_time(self):
+        pool = WorkerPool(2)
+        assert pool.run(10.0, 1.0) == 11.0
+
+    def test_worker_pool_validation(self):
+        with pytest.raises(UsageError):
+            WorkerPool(0)
+
+    def test_ordered_consumer(self):
+        consumer = OrderedConsumer()
+        assert consumer.consume(5.0, 1.0) == 6.0
+        assert consumer.consume(2.0, 1.0) == 7.0  # in-order: waits for prior
+        assert consumer.serial_time == 2.0
+
+
+class TestRapidgzipSimulation:
+    def test_single_core_matches_component_bandwidth(self):
+        result = rapid(1)
+        # ~169 MB/s conventional decode minus finder overhead.
+        assert 0.12 * GB < result.bandwidth < 0.18 * GB
+
+    def test_weak_scaling_monotonic(self):
+        bandwidths = [rapid(P).bandwidth for P in (1, 2, 4, 8, 16, 32, 64)]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_base64_128_cores_near_paper(self):
+        # Paper §4.4: 8.7 GB/s without an index at 128 cores.
+        assert 7.0 * GB < rapid(128).bandwidth < 10.5 * GB
+
+    def test_index_roughly_twice_as_fast_at_128(self):
+        # Paper: 17.8 GB/s with an index vs 8.7 GB/s without.
+        without = rapid(128).bandwidth
+        with_index = rapid(128, with_index=True).bandwidth
+        assert 1.6 < with_index / without < 2.6
+
+    def test_silesia_plateaus_after_64(self):
+        # Paper §4.5: "it stops scaling after ~64 cores", 5.6 GB/s at 128.
+        at64 = rapid(64, "silesia", per_core=424e6).bandwidth
+        at128 = rapid(128, "silesia", per_core=424e6).bandwidth
+        assert at128 / at64 < 1.15  # nearly flat
+        assert 4.5 * GB < at128 < 6.7 * GB
+
+    def test_fastq_stops_scaling_before_silesia(self):
+        # Paper §4.6: FASTQ stops at ~48 cores (4.9 GB/s peak).
+        fastq64 = rapid(64, "fastq", per_core=362e6).bandwidth
+        fastq128 = rapid(128, "fastq", per_core=362e6).bandwidth
+        assert fastq128 / fastq64 < 1.1
+        assert 4.0 * GB < fastq128 < 6.0 * GB
+
+    def test_speedup_over_gzip_near_55x(self):
+        # Paper abstract: speedup 55 over gzip for base64 at 128 cores.
+        gzip_bw = simulate_single_threaded(
+            "gzip", WORKLOADS["base64"], MODEL, uncompressed_size=1e9
+        ).bandwidth
+        speedup = rapid(128).bandwidth / gzip_bw
+        assert 40 < speedup < 70
+
+    def test_chunk_size_sweep_has_interior_optimum(self):
+        # Fig. 12: degradation at both very small and very large chunks.
+        sizes = [2**k * 1024 * 1024 for k in (-3, 0, 2, 4, 7, 9)]
+        bandwidths = [
+            simulate_rapidgzip(
+                16, WORKLOADS["base64"], MODEL,
+                uncompressed_size=8 * 1024**3, chunk_size=size,
+            ).bandwidth
+            for size in sizes
+        ]
+        best = max(range(len(sizes)), key=lambda i: bandwidths[i])
+        assert 0 < best < len(sizes) - 1
+        assert bandwidths[best] > 1.5 * bandwidths[0]
+        assert bandwidths[best] > 1.5 * bandwidths[-1]
+
+    def test_io_bound_cap(self):
+        # An absurdly parallel run cannot exceed the 18 GB/s read limit
+        # times the compression ratio.
+        result = rapid(4096, with_index=True)
+        assert result.bandwidth <= MODEL.io_read * 1.315 * 1.01
+
+    def test_single_block_workload_never_scales(self):
+        workload, mult, _ = table3_workload("igzip -0")
+        one = simulate_rapidgzip(1, workload, MODEL, uncompressed_size=1e9,
+                                 decode_multiplier=mult)
+        many = simulate_rapidgzip(128, workload, MODEL, uncompressed_size=1e9,
+                                  decode_multiplier=mult)
+        assert many.bandwidth == pytest.approx(one.bandwidth)
+
+    def test_invalid_cores(self):
+        with pytest.raises(UsageError):
+            rapid(0)
+
+
+class TestPugzSimulation:
+    def test_sync_mode_plateaus(self):
+        # Paper §4.4: pugz (sync) achieves ~1.2 GB/s for 48-128 cores.
+        bandwidths = {
+            P: simulate_pugz(
+                P, WORKLOADS["base64"], MODEL,
+                uncompressed_size=128 * 1024 * 1024 * P,
+            ).bandwidth
+            for P in (48, 64, 128)
+        }
+        for value in bandwidths.values():
+            assert 1.0 * GB < value < 1.6 * GB
+
+    def test_async_scales_further_than_sync(self):
+        sync = simulate_pugz(
+            128, WORKLOADS["base64"], MODEL,
+            uncompressed_size=512 * 1024 * 1024 * 128,
+        ).bandwidth
+        nosync = simulate_pugz(
+            128, WORKLOADS["base64"], MODEL,
+            uncompressed_size=512 * 1024 * 1024 * 128, synchronized=False,
+        ).bandwidth
+        assert nosync > 4 * sync
+
+    def test_rapidgzip_faster_than_pugz_below_64(self):
+        # Paper §4.4 ordering claim.
+        for P in (4, 16, 32, 48):
+            pugz = simulate_pugz(
+                P, WORKLOADS["base64"], MODEL,
+                uncompressed_size=512 * 1024 * 1024 * P, synchronized=False,
+            ).bandwidth
+            assert rapid(P).bandwidth >= pugz * 0.98
+
+    def test_pugz_rejects_binary_workloads(self):
+        # Paper §4.5: pugz errors out on the Silesia corpus.
+        with pytest.raises(UsageError):
+            simulate_pugz(4, WORKLOADS["silesia"], MODEL, uncompressed_size=1e9)
+
+    def test_rapidgzip_7x_faster_than_pugz_sync_at_128(self):
+        # Paper §4.4: "for 128 cores, rapidgzip without an index is 7x
+        # faster than pugz (sync)".
+        sync = simulate_pugz(
+            128, WORKLOADS["base64"], MODEL,
+            uncompressed_size=128 * 1024 * 1024 * 128,
+        ).bandwidth
+        factor = rapid(128).bandwidth / sync
+        assert 5.5 < factor < 8.5
+
+
+class TestTable3:
+    def test_all_rows_within_15_percent(self):
+        for row in TABLE3_ROWS:
+            workload, mult, paper = table3_workload(row)
+            sim = simulate_rapidgzip(
+                128, workload, MODEL, uncompressed_size=54.2e9,
+                decode_multiplier=mult,
+            ).bandwidth / GB
+            assert abs(sim - paper) / paper < 0.15, (row, sim, paper)
+
+    def test_qualitative_ordering(self):
+        def bandwidth(row):
+            workload, mult, _ = table3_workload(row)
+            return simulate_rapidgzip(
+                128, workload, MODEL, uncompressed_size=54.2e9,
+                decode_multiplier=mult,
+            ).bandwidth
+
+        # bgzip -0 (stored) is the fastest; igzip -0 by far the slowest;
+        # pigz rows trail the gzip rows (paper §4.8).
+        rows = {row: bandwidth(row) for row in TABLE3_ROWS}
+        assert rows["bgzip -l 0"] == max(rows.values())
+        assert rows["igzip -0"] == min(rows.values())
+        assert rows["pigz -6"] < rows["gzip -6"]
+
+
+class TestTable4Tools:
+    @pytest.mark.parametrize(
+        "key,cores,paper",
+        [
+            (("bzip2", "lbzip2"), 1, 0.04492),
+            (("bzip2", "lbzip2"), 16, 0.667),
+            (("bzip2", "lbzip2"), 128, 4.105),
+            (("bgzip", "bgzip"), 16, 2.82),
+            (("bgzip", "bgzip"), 128, 5.5),
+            (("pzstd", "pzstd"), 16, 6.78),
+            (("pzstd", "pzstd"), 128, 8.8),
+            (("gzip", "bgzip"), 16, 0.3017),
+            (("zstd", "pzstd"), 16, 0.882),
+        ],
+    )
+    def test_fitted_points(self, key, cores, paper):
+        sim = tool_bandwidth(*key, cores) / GB
+        assert abs(sim - paper) / paper < 0.12
+
+    def test_indexed_rapidgzip_beats_pzstd_at_128(self):
+        # Paper §4.9: "for 128 cores, rapidgzip with an existing index
+        # becomes twice as fast as pzstd".
+        rapidgzip = simulate_rapidgzip(
+            128, WORKLOADS["silesia"], MODEL,
+            uncompressed_size=27.13e9, with_index=True,
+        ).bandwidth
+        pzstd = tool_bandwidth("pzstd", "pzstd", 128)
+        assert 1.5 < rapidgzip / pzstd < 2.6
+
+    def test_pzstd_beats_rapidgzip_at_16(self):
+        # ... while at 16 cores pzstd is still ahead (Table 4).
+        rapidgzip = simulate_rapidgzip(
+            16, WORKLOADS["silesia"], MODEL,
+            uncompressed_size=3.39e9, with_index=True,
+        ).bandwidth
+        assert tool_bandwidth("pzstd", "pzstd", 16) > rapidgzip
+
+    def test_unknown_pairing_raises(self):
+        with pytest.raises(UsageError):
+            tool_bandwidth("rar", "unrar", 2)
+
+
+class TestCostModel:
+    def test_measured_fills_missing_fields_by_scaling(self):
+        model = CostModel.measured({"two_stage_decode": 15.3e6})
+        paper = CostModel.from_paper()
+        assert model.two_stage_decode == pytest.approx(15.3e6)
+        assert model.block_finder == pytest.approx(paper.block_finder / 10)
+        assert model.contention_beta == paper.contention_beta
+
+    def test_scaled_preserves_shape(self):
+        # A uniformly 10x slower machine gives identical *relative* curves.
+        slow = MODEL.scaled(0.1)
+        fast_curve = [rapid(P).bandwidth for P in (1, 16, 64)]
+        slow_curve = [
+            simulate_rapidgzip(
+                P, WORKLOADS["base64"], slow,
+                uncompressed_size=512 * 1024 * 1024 * P,
+            ).bandwidth
+            for P in (1, 16, 64)
+        ]
+        for fast, slow_value in zip(fast_curve, slow_curve):
+            assert slow_value / fast == pytest.approx(0.1, rel=0.01)
+
+    def test_single_threaded_tools(self):
+        for tool, expected in (("gzip", 157e6), ("igzip", 416e6), ("pigz", 270e6)):
+            result = simulate_single_threaded(
+                tool, WORKLOADS["base64"], MODEL, uncompressed_size=1e9
+            )
+            assert result.bandwidth == pytest.approx(expected, rel=0.01)
+        with pytest.raises(UsageError):
+            simulate_single_threaded("zcat", WORKLOADS["base64"], MODEL,
+                                     uncompressed_size=1e9)

@@ -1,0 +1,141 @@
+"""Concurrency and failure-injection stress tests."""
+
+import gzip as stdlib_gzip
+import io
+import random
+import threading
+import zlib
+
+import pytest
+
+from repro.cache import FetchMultiStream
+from repro.datagen import generate_base64, generate_silesia_like
+from repro.errors import FormatError, ReproError
+from repro.gz.writer import compress as gz_compress
+from repro.reader import ParallelGzipReader, decompress_parallel
+
+
+def ascii_data(size, seed=0):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(33, 127) for _ in range(size))
+
+
+class TestConcurrencyStress:
+    def test_many_tiny_chunks_many_threads(self):
+        # Far more chunks than workers: exercises queueing, cache churn,
+        # and speculative/exact races.
+        data = ascii_data(200_000, 1)
+        blob = stdlib_gzip.compress(data, 1)
+        out = decompress_parallel(blob, 4, chunk_size=2048)
+        assert out == data
+
+    def test_interleaved_readers_multi_stream_strategy(self):
+        data = generate_base64(300_000, seed=2)
+        blob = gz_compress(data, "pigz")
+        with ParallelGzipReader(
+            blob, parallelization=4, chunk_size=16 * 1024,
+            strategy=FetchMultiStream(),
+        ) as reader:
+            errors = []
+
+            def client(base, stride):
+                for step in range(25):
+                    offset = (base + step * stride) % (len(data) - 64)
+                    if reader.read_at(offset, 64) != data[offset : offset + 64]:
+                        errors.append(offset)
+
+            threads = [
+                threading.Thread(target=client, args=(0, 4096)),
+                threading.Thread(target=client, args=(150_000, 4096)),
+                threading.Thread(target=client, args=(290_000, 12288)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+
+    def test_repeated_open_close(self):
+        data = ascii_data(50_000, 3)
+        blob = stdlib_gzip.compress(data)
+        for _ in range(10):
+            with ParallelGzipReader(blob, parallelization=3, chunk_size=8192) as reader:
+                assert reader.read(100) == data[:100]
+
+    def test_close_with_inflight_speculation(self):
+        data = ascii_data(300_000, 4)
+        blob = stdlib_gzip.compress(data, 1)
+        reader = ParallelGzipReader(blob, parallelization=4, chunk_size=4096)
+        reader.read(10)  # kicks off a wave of speculative decodes
+        reader.close()  # must join cleanly, no deadlock
+
+
+class TestFailureInjection:
+    def corrupt(self, blob: bytes, position: int, run: int = 8) -> bytes:
+        mutated = bytearray(blob)
+        for index in range(position, min(position + run, len(mutated))):
+            mutated[index] ^= 0xA5
+        return bytes(mutated)
+
+    def test_corruption_in_every_region(self):
+        data = ascii_data(120_000, 5)
+        blob = stdlib_gzip.compress(data, 6)
+        for position in (0, 4, len(blob) // 3, len(blob) // 2, len(blob) - 10):
+            mutated = self.corrupt(blob, position)
+            with pytest.raises(ReproError):
+                decompress_parallel(mutated, 2, chunk_size=16 * 1024)
+
+    def test_truncations(self):
+        data = ascii_data(120_000, 6)
+        blob = stdlib_gzip.compress(data, 6)
+        for keep in (5, 100, len(blob) // 2, len(blob) - 4):
+            with pytest.raises(ReproError):
+                decompress_parallel(blob[:keep], 2, chunk_size=16 * 1024)
+
+    def test_random_garbage_never_hangs_or_crashes_wrong(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            garbage = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 3000)))
+            try:
+                decompress_parallel(garbage, 2, chunk_size=4096)
+            except ReproError:
+                pass  # the only acceptable failure mode
+
+    def test_gzip_header_prefix_with_garbage_body(self):
+        blob = stdlib_gzip.compress(b"x" * 1000)[:12] + bytes(500)
+        with pytest.raises(ReproError):
+            decompress_parallel(blob, 2)
+
+    def test_deep_member_nesting(self):
+        # gzip-of-gzip-of-gzip: each layer decodes through a file-like
+        # reader over the previous (the paper's recursive access pattern).
+        payload = generate_silesia_like(60_000, 8)
+        nested = payload
+        for _ in range(3):
+            nested = stdlib_gzip.compress(nested, 5)
+        current = nested
+        for _ in range(3):
+            current = decompress_parallel(current, 2, chunk_size=8192)
+        assert current == payload
+
+    def test_reader_over_reader(self):
+        payload = ascii_data(80_000, 9)
+        inner_blob = stdlib_gzip.compress(payload)
+        outer_blob = stdlib_gzip.compress(inner_blob)
+        with ParallelGzipReader(outer_blob, parallelization=2) as outer:
+            with ParallelGzipReader(outer, parallelization=2) as inner:
+                assert inner.read() == payload
+
+
+class TestCompressionBombs:
+    def test_max_chunk_output_guard(self):
+        bomb = stdlib_gzip.compress(bytes(20_000_000), 9)  # ratio ~1000
+        with pytest.raises(ReproError):
+            decompress_parallel(
+                bomb, 2, chunk_size=4096, max_chunk_output=100_000
+            )
+
+    def test_bomb_decodes_without_guard(self):
+        data = bytes(2_000_000)
+        bomb = stdlib_gzip.compress(data, 9)
+        assert decompress_parallel(bomb, 2, chunk_size=4096) == data

@@ -1,0 +1,123 @@
+"""Equivalence tests: vectorized finder == scalar production finder.
+
+The vectorized finder is a pure optimization; on every input it must
+return exactly the candidate sequence of the scalar skip-LUT finder.
+"""
+
+import random
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockfinder import (
+    CombinedBlockFinder,
+    DynamicBlockFinder,
+    VectorizedDynamicBlockFinder,
+    scan_dynamic_candidates,
+)
+from repro.deflate.compress import CompressorOptions, compress
+from repro.deflate import inflate
+
+
+def scalar_candidates(data: bytes, until=None):
+    return list(DynamicBlockFinder(data).iter_candidates(0, until=until))
+
+
+def vector_candidates(data: bytes, until=None):
+    return list(VectorizedDynamicBlockFinder(data).iter_candidates(0, until=until))
+
+
+class TestEquivalence:
+    def test_on_compressed_ascii_stream(self):
+        rng = random.Random(1)
+        data = bytes(rng.randrange(33, 127) for _ in range(20_000))
+        compressed = compress(data, CompressorOptions(level=6, block_size=3000))
+        assert vector_candidates(compressed) == scalar_candidates(compressed)
+
+    def test_on_zlib_stream(self):
+        rng = random.Random(2)
+        data = bytes(rng.randrange(33, 127) for _ in range(60_000))
+        compressed = zlib.compress(data, 6)[2:-4]
+        assert vector_candidates(compressed) == scalar_candidates(compressed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_on_random_noise(self, seed):
+        noise = np.random.default_rng(seed).integers(
+            0, 256, size=50_000, dtype=np.uint8
+        ).tobytes()
+        assert vector_candidates(noise) == scalar_candidates(noise)
+
+    def test_until_limit_respected(self):
+        rng = random.Random(3)
+        data = bytes(rng.randrange(33, 127) for _ in range(20_000))
+        compressed = compress(data, CompressorOptions(level=6, block_size=2000))
+        full = scalar_candidates(compressed)
+        assert len(full) >= 2
+        cutoff = full[1]
+        assert vector_candidates(compressed, until=cutoff) == full[:1]
+        assert vector_candidates(compressed, until=cutoff + 1) == full[:2]
+
+    def test_find_from_offset(self):
+        rng = random.Random(4)
+        data = bytes(rng.randrange(33, 127) for _ in range(20_000))
+        compressed = compress(data, CompressorOptions(level=6, block_size=2000))
+        truth = scalar_candidates(compressed)
+        finder = VectorizedDynamicBlockFinder(compressed)
+        for offset in truth:
+            assert finder.find_next(offset) == offset
+            nxt = finder.find_next(offset + 1)
+            scalar_next = DynamicBlockFinder(compressed).find_next(offset + 1)
+            assert nxt == scalar_next
+
+    def test_tiny_inputs(self):
+        for size in (0, 1, 5, 9, 20):
+            data = bytes(size)
+            assert vector_candidates(data) == scalar_candidates(data)
+
+    def test_finds_real_blocks_in_multiblock_stream(self):
+        rng = random.Random(5)
+        data = bytes(rng.randrange(33, 127) for _ in range(8 * 4096))
+        compressed = compress(data, CompressorOptions(level=6, block_size=4096))
+        truth = [
+            b.bit_offset
+            for b in inflate(compressed).boundaries
+            if b.block_type == 2 and not b.is_final
+        ]
+        found = vector_candidates(compressed)
+        for offset in truth:
+            assert offset in found
+
+
+class TestScanStage:
+    def test_scan_respects_bounds(self):
+        data = bytes(100)
+        result = scan_dynamic_candidates(data, 0, 800)
+        assert (result >= 0).all()
+        assert (result < 800).all()
+
+    def test_scan_empty_input(self):
+        assert scan_dynamic_candidates(b"", 0, 100).size == 0
+        assert scan_dynamic_candidates(bytes(5), 0, 40).size == 0
+
+    def test_scan_start_offset(self):
+        rng = np.random.default_rng(9)
+        noise = rng.integers(0, 256, size=4096, dtype=np.uint8).tobytes()
+        full = scan_dynamic_candidates(noise, 0, 4096 * 8)
+        if full.size >= 2:
+            later = scan_dynamic_candidates(noise, int(full[0]) + 1, 4096 * 8)
+            assert later[0] == full[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=0, max_size=2000))
+def test_property_equivalence_on_arbitrary_bytes(data):
+    """Property: vectorized == scalar on arbitrary byte strings."""
+    assert vector_candidates(data) == scalar_candidates(data)
+
+
+def test_combined_finder_uses_vectorized():
+    finder = CombinedBlockFinder(b"\x00" * 64)
+    assert isinstance(finder.dynamic, VectorizedDynamicBlockFinder)
