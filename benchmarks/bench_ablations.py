@@ -71,7 +71,7 @@ def test_ablation_prefetch_strategy(benchmark, reporter):
     table.row("strategy", "prefetch hits", "on-demand", "speculative",
               widths=[26, 14, 10, 12])
     for name, stat in stats.items():
-        table.row(name, stat["prefetch_cache"].hits, stat["on_demand_decodes"],
+        table.row(name, stat["prefetch_cache"]["hits"], stat["on_demand_decodes"],
                   stat["speculative_submitted"], widths=[26, 14, 10, 12])
     table.add("(no prefetch => every chunk is an on-demand decode; the")
     table.add(" adaptive strategy hides chunk latency behind the pool)")
@@ -79,7 +79,7 @@ def test_ablation_prefetch_strategy(benchmark, reporter):
     assert stats["no prefetch"]["on_demand_decodes"] > (
         stats["adaptive (paper default)"]["on_demand_decodes"]
     )
-    assert stats["adaptive (paper default)"]["prefetch_cache"].hits > 0
+    assert stats["adaptive (paper default)"]["prefetch_cache"]["hits"] > 0
 
 
 def test_ablation_prefetch_cache_size(benchmark, reporter):
@@ -113,7 +113,7 @@ def test_ablation_prefetch_cache_size(benchmark, reporter):
     table.row("capacity", "hits", "evictions", "on-demand", widths=[9, 8, 10, 10])
     for size, stat in stats.items():
         cache = stat["prefetch_cache"]
-        table.row(size, cache.hits, cache.evictions,
+        table.row(size, cache["hits"], cache["evictions"],
                   stat["on_demand_decodes"], widths=[9, 8, 10, 10])
     table.emit()
     # A starved cache (capacity 1) must lose speculative results.

@@ -28,6 +28,8 @@ Subpackages (bottom-up):
 * :mod:`repro.sim` — calibrated performance simulator for the scaling
   experiments (stands in for the paper's 128-core node)
 * :mod:`repro.recovery` — corrupted-gzip recovery via the block finder
+* :mod:`repro.telemetry` — chunk-lifecycle tracing (Chrome trace-event
+  export), metrics registry, and the ``--profile`` report
 """
 
 from .errors import (
@@ -58,6 +60,7 @@ __all__ = [
     "ParallelGzipReader",
     "GzipIndex",
     "GzipWriter",
+    "Telemetry",
 ]
 
 
@@ -76,4 +79,8 @@ def __getattr__(name):
         from .gz import GzipWriter
 
         return GzipWriter
+    if name == "Telemetry":
+        from .telemetry import Telemetry
+
+        return Telemetry
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

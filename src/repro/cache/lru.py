@@ -34,6 +34,17 @@ class CacheStatistics:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """Plain snapshot for ``statistics()`` surfaces — handing out the
+        live mutable object would let callers corrupt the counts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class LRUCache:
     """Thread-safe least-recently-used mapping with a fixed capacity."""

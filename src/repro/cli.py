@@ -13,13 +13,17 @@ reproduction::
     rapidgzip-py --analyze x.gz                # block/member structure
     rapidgzip-py --recover broken.gz           # salvage a damaged file
     rapidgzip-py --compress --profile pigz f   # create test corpora
+    rapidgzip-py x.gz --trace x.trace.json     # Chrome/Perfetto trace
+    rapidgzip-py x.gz --profile                # [Info] profile report
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 
 from . import __version__
 from .errors import ReproError
@@ -86,8 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     actions.add_argument(
         "--profile",
+        nargs="?",
+        const="__report__",
         default="gzip",
-        help="compression profile (gzip, pigz, bgzf, bgzf-stored, igzip0, stored, custom)",
+        metavar="NAME",
+        help="with --compress: compression profile (gzip, pigz, bgzf, "
+        "bgzf-stored, igzip0, stored, custom); without --compress, a bare "
+        "--profile prints an [Info] telemetry report to stderr",
     )
     actions.add_argument("--level", type=int, default=None, help="compression level")
     actions.add_argument(
@@ -103,8 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["members", "bgzf"],
         help="parallel compression output layout",
     )
-    parser.add_argument(
-        "--stats", action="store_true", help="print fetcher statistics to stderr"
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record chunk-lifecycle spans and write Chrome trace-event "
+        "JSON (open in Perfetto or chrome://tracing)",
+    )
+    observability.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the full statistics/metrics snapshot as JSON to stderr",
     )
     return parser
 
@@ -176,7 +194,10 @@ def _dispatch(arguments) -> int:
         else:
             from .gz.writer import compress as gz_compress
 
-            blob = gz_compress(data, arguments.profile, level=arguments.level)
+            profile = arguments.profile
+            if profile == "__report__":  # bare --profile with --compress
+                profile = "gzip"
+            blob = gz_compress(data, profile, level=arguments.level)
         sink = _open_output(arguments, arguments.file + ".gz")
         sink.write(blob)
         if sink is not sys.stdout.buffer:
@@ -210,12 +231,14 @@ def _dispatch(arguments) -> int:
         index = GzipIndex.load(arguments.import_index)
 
     source = _read_input(arguments.file) if arguments.file == "-" else arguments.file
+    started = time.perf_counter()
     reader = ParallelGzipReader(
         source,
         parallelization=max(arguments.parallelization, 1),
         chunk_size=arguments.chunk_size * 1024,
         verify=not arguments.no_verify,
         index=index,
+        trace=bool(arguments.trace),
     )
     try:
         if arguments.export_index:
@@ -250,11 +273,26 @@ def _dispatch(arguments) -> int:
             sink.write(piece)
         if sink is not sys.stdout.buffer:
             sink.close()
-        if arguments.stats:
-            print(f"statistics: {reader.statistics()}", file=sys.stderr)
         return 0
     finally:
+        _report_observability(arguments, reader, time.perf_counter() - started)
         reader.close()
+
+
+def _report_observability(arguments, reader, wall_time: float) -> None:
+    """Emit --trace/--profile/--stats output after any reader action."""
+    if arguments.trace:
+        reader.save_trace(arguments.trace)
+    show_profile = arguments.profile == "__report__" and not arguments.compress
+    if show_profile or arguments.stats:
+        statistics = reader.statistics()
+        if show_profile:
+            from .telemetry import format_profile
+
+            for line in format_profile(statistics, wall_time=wall_time):
+                print(line, file=sys.stderr)
+        if arguments.stats:
+            print(json.dumps(statistics, indent=2, default=str), file=sys.stderr)
 
 
 if __name__ == "__main__":

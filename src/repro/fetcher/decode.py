@@ -194,6 +194,7 @@ def speculative_decode(
     find_uncompressed: bool = True,
     max_output: int = None,
     max_candidates: int = 32 * 1024,
+    telemetry=None,
 ) -> ChunkResult:
     """Search chunk ``chunk_index`` for a Deflate block and decode from it.
 
@@ -202,25 +203,54 @@ def speculative_decode(
     and the search resumes one bit later. Returns ``None`` when the chunk
     window contains no decodable candidate (the caller records this so the
     range is not searched again).
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) collects the
+    paper's Table 1 quantities live: candidates tested vs. accepted,
+    per-filter-stage rejections, and decode-attempt false positives.
     """
+    recorder = telemetry.recorder if telemetry is not None else None
     search_from = chunk_index * chunk_size * 8
     stop_bit = (chunk_index + 1) * chunk_size * 8
     finder = CombinedBlockFinder(
         file_reader.clone(), find_uncompressed=find_uncompressed
     )
-    offset = finder.find_next(search_from, until=stop_bit)
+    if recorder is not None and recorder.enabled:
+        with recorder.span("chunk.block_find", chunk_id=chunk_index):
+            offset = finder.find_next(search_from, until=stop_bit)
+    else:
+        offset = finder.find_next(search_from, until=stop_bit)
     tried = 0
+    false_positives = 0
+    result = None
     while offset is not None and tried < max_candidates:
         tried += 1
         try:
-            result = decode_chunk_range(
-                file_reader, offset, stop_bit, None, max_output=max_output
-            )
+            if recorder is not None and recorder.enabled:
+                with recorder.span(
+                    "chunk.decode_attempt", chunk_id=chunk_index, start_bit=offset
+                ):
+                    result = decode_chunk_range(
+                        file_reader, offset, stop_bit, None, max_output=max_output
+                    )
+            else:
+                result = decode_chunk_range(
+                    file_reader, offset, stop_bit, None, max_output=max_output
+                )
             result.speculative = True
-            return result
+            break
         except FormatError:
+            false_positives += 1
             offset = finder.find_next(offset + 1, until=stop_bit)
-    return None
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        metrics.counter("blockfinder.candidates_tested").increment(
+            finder.dynamic.candidates_tested
+        )
+        metrics.counter("blockfinder.candidates_accepted").increment(tried)
+        metrics.counter("fetcher.decode_false_positives").increment(false_positives)
+        for stage, count in finder.dynamic.counter.items():
+            metrics.counter(f"blockfinder.reject.{stage}").increment(count)
+    return result
 
 
 def shift_to_byte_alignment(file_reader, start_bit: int, end_bit: int) -> bytes:

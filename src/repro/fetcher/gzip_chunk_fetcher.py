@@ -26,6 +26,7 @@ from ..errors import FormatError, UsageError
 from ..gz.bgzf import bgzf_block_offsets, is_bgzf
 from ..io import ensure_file_reader
 from ..pool import PRIORITY_PREFETCH, ThreadPool
+from ..telemetry import Telemetry
 from .decode import (
     ChunkResult,
     decode_bgzf_members,
@@ -55,6 +56,7 @@ class GzipChunkFetcher:
         index=None,
         prefetch_cache_size: int = None,
         detect_bgzf: bool = True,
+        telemetry: Telemetry = None,
     ):
         if parallelization < 1:
             raise UsageError("parallelization must be at least 1")
@@ -66,8 +68,9 @@ class GzipChunkFetcher:
         self.strategy = strategy or FetchNextAdaptive()
         self.find_uncompressed = find_uncompressed
         self.max_chunk_output = max_chunk_output
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
 
-        self.pool = ThreadPool(parallelization)
+        self.pool = ThreadPool(parallelization, telemetry=self.telemetry)
         capacity = prefetch_cache_size or max(2 * parallelization, 2)
         self.prefetch_cache = LRUCache(capacity)
         self.access_cache = LRUCache(max(parallelization // 4, 1))
@@ -77,10 +80,19 @@ class GzipChunkFetcher:
         self._history: list = []  # recently accessed chunk ids
         self._lock = threading.RLock()
 
-        # Statistics for the evaluation harness.
-        self.speculative_submitted = 0
-        self.speculative_unusable = 0
-        self.on_demand_decodes = 0
+        # Named metrics replace the former ad-hoc statistics integers; the
+        # attribute names survive as properties for the evaluation harness.
+        metrics = self.telemetry.metrics
+        self._speculative_submitted = metrics.counter("fetcher.speculative_submitted")
+        self._speculative_unusable = metrics.counter("fetcher.speculative_unusable")
+        self._on_demand_decodes = metrics.counter("fetcher.on_demand_decodes")
+        self._wait_inflight = metrics.counter("fetcher.wait_inflight")
+        metrics.probe(
+            "cache.prefetch", lambda: self.prefetch_cache.statistics.as_dict()
+        )
+        metrics.probe(
+            "cache.access", lambda: self.access_cache.statistics.as_dict()
+        )
 
         self._index = None
         self._bgzf_groups = None
@@ -156,11 +168,19 @@ class GzipChunkFetcher:
                 self.chunk_size,
                 find_uncompressed=self.find_uncompressed,
                 max_output=self.max_chunk_output,
+                telemetry=self.telemetry,
             )
         if self.mode == "index":
             return self._decode_index_chunk(chunk_id)
         members, end = self._bgzf_groups[chunk_id]
         return decode_bgzf_members(self.file_reader, members, end)
+
+    def _run_chunk_task(self, chunk_id: int, kind: str):
+        """Task body with a lifecycle span on the executing thread."""
+        with self.telemetry.recorder.span(
+            "chunk.decode", chunk_id=chunk_id, mode=self.mode, kind=kind
+        ):
+            return self._task_for_id(chunk_id)
 
     def _decode_index_chunk(self, chunk_id: int) -> ChunkResult:
         point = self._index[chunk_id]
@@ -210,7 +230,7 @@ class GzipChunkFetcher:
                     result = None
                 if result is None:
                     self._no_candidate.add(chunk_id)
-                    self.speculative_unusable += 1
+                    self._speculative_unusable.increment()
                     continue
                 self.prefetch_cache.insert(result.start_bit, result)
                 self._id_of_key[result.start_bit] = chunk_id
@@ -224,9 +244,10 @@ class GzipChunkFetcher:
                 or chunk_id >= self.num_chunk_ids
             ):
                 return
-            self.speculative_submitted += 1
+            self._speculative_submitted.increment()
             self._futures[chunk_id] = self.pool.submit(
-                self._task_for_id, chunk_id, priority=PRIORITY_PREFETCH
+                self._run_chunk_task, chunk_id, "speculative",
+                priority=PRIORITY_PREFETCH,
             )
 
     def _trigger_prefetch(self, accessed_id: int) -> None:
@@ -269,7 +290,11 @@ class GzipChunkFetcher:
             # An in-flight speculative task may be about to produce it.
             future = self._futures.get(chunk_id)
             if future is not None:
-                future.result()
+                self._wait_inflight.increment()
+                with self.telemetry.recorder.span(
+                    "chunk.wait_inflight", chunk_id=chunk_id
+                ):
+                    future.result()
                 self._harvest()
                 result = self.prefetch_cache.get(start_bit)
                 if result is not None:
@@ -282,27 +307,45 @@ class GzipChunkFetcher:
         return result
 
     def _decode_on_demand(self, start_bit: int, chunk_id: int, window: bytes):
-        self.on_demand_decodes += 1
+        self._on_demand_decodes.increment()
         if self.mode == "search":
             stop_bit = (chunk_id + 1) * self.chunk_size * 8
-            return decode_chunk_range(
-                self.file_reader,
-                start_bit,
-                stop_bit,
-                window,
-                max_output=self.max_chunk_output,
-            )
-        return self._task_for_id(chunk_id)
+            with self.telemetry.recorder.span(
+                "chunk.decode", chunk_id=chunk_id, mode=self.mode, kind="on_demand"
+            ):
+                return decode_chunk_range(
+                    self.file_reader,
+                    start_bit,
+                    stop_bit,
+                    window,
+                    max_output=self.max_chunk_output,
+                )
+        return self._run_chunk_task(chunk_id, "on_demand")
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def speculative_submitted(self) -> int:
+        return self._speculative_submitted.value
+
+    @property
+    def speculative_unusable(self) -> int:
+        return self._speculative_unusable.value
+
+    @property
+    def on_demand_decodes(self) -> int:
+        return self._on_demand_decodes.value
 
     def statistics(self) -> dict:
+        """Plain-dict snapshot (no live mutable objects leak out)."""
         return {
             "mode": self.mode,
-            "prefetch_cache": self.prefetch_cache.statistics,
-            "access_cache": self.access_cache.statistics,
+            "prefetch_cache": self.prefetch_cache.statistics.as_dict(),
+            "access_cache": self.access_cache.statistics.as_dict(),
             "speculative_submitted": self.speculative_submitted,
             "speculative_unusable": self.speculative_unusable,
             "on_demand_decodes": self.on_demand_decodes,
-            "pool_tasks": self.pool.tasks_submitted,
+            "pool": self.pool.statistics(),
         }
 
     def close(self) -> None:

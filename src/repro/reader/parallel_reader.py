@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import io
 import threading
+import time
 
 from ..blockfinder.pugz import PUGZ_MAX_BYTE, PUGZ_MIN_BYTE
 from ..cache import LRUCache
@@ -32,6 +33,7 @@ from ..gz.crc32 import fast_crc32
 from ..gz.header import parse_gzip_header
 from ..index import GzipIndex, SeekPoint
 from ..io import BitReader, ensure_file_reader
+from ..telemetry import Telemetry
 
 __all__ = ["ParallelGzipReader", "decompress_parallel"]
 
@@ -52,6 +54,8 @@ class ParallelGzipReader:
         max_chunk_output: int = None,
         detect_bgzf: bool = True,
         seek_point_spacing: int = None,
+        trace: bool = False,
+        telemetry: Telemetry = None,
     ):
         """Open a gzip file for parallel reading.
 
@@ -62,6 +66,12 @@ class ParallelGzipReader:
         is not larger than the configured chunk size"). Defaults to
         ``2 * chunk_size``. This bounds both seek latency and the memory
         needed per chunk when the exported index is later imported.
+
+        ``trace=True`` records chunk-lifecycle spans for the whole pipeline
+        (reader, fetcher, pool workers, block finders); export them with
+        :meth:`save_trace`. Metrics are collected either way. Pass an
+        existing ``telemetry`` bundle to share one recorder/registry
+        across several readers.
         """
         self._file_reader = ensure_file_reader(source)
         self._verify = verify
@@ -70,6 +80,9 @@ class ParallelGzipReader:
         self._position = 0
         self._closed = False
         self._lock = threading.RLock()
+        self.telemetry = telemetry if telemetry is not None else Telemetry(trace=trace)
+        self._read_calls = self.telemetry.metrics.counter("reader.read_calls")
+        self._read_seconds = self.telemetry.metrics.histogram("reader.read_seconds")
 
         if index is not None and not index.finalized:
             raise UsageError("only finalized indexes can be imported")
@@ -82,6 +95,7 @@ class ParallelGzipReader:
             max_chunk_output=max_chunk_output,
             index=index,
             detect_bgzf=detect_bgzf,
+            telemetry=self.telemetry,
         )
 
         self._block_map = BlockMap()
@@ -139,8 +153,11 @@ class ParallelGzipReader:
     def _decode_next_chunk(self) -> ChunkRecord:
         """Decode the chunk at the frontier and extend the chain."""
         start_bit, window, is_stream_start = self._frontier
-        result = self._fetcher.request(start_bit, window)
-        data = self._materialize_result(result, window)
+        with self.telemetry.recorder.span(
+            "reader.decode_next_chunk", start_bit=start_bit
+        ):
+            result = self._fetcher.request(start_bit, window)
+            data = self._materialize_result(result, window)
         output_start = self._block_map.known_size
         record = ChunkRecord(
             start_bit=start_bit,
@@ -151,6 +168,13 @@ class ParallelGzipReader:
             is_stream_start=is_stream_start,
         )
         self._block_map.append(record)
+        recorder = self.telemetry.recorder
+        if recorder.enabled:
+            recorder.instant(
+                "reader.frontier",
+                chunks=len(self._block_map),
+                known_size=self._block_map.known_size,
+            )
         self._materialized.insert(start_bit, data)
         self._verify_sequential(record, data, result.events)
         if not self._index.finalized:
@@ -221,7 +245,10 @@ class ParallelGzipReader:
             next_emit = boundary.output_offset + self._seek_point_spacing
 
     def _materialize_result(self, result, window: bytes) -> bytes:
-        data = result.payload.materialize(window)
+        with self.telemetry.recorder.span(
+            "chunk.materialize", start_bit=result.start_bit
+        ):
+            data = result.payload.materialize(window)
         if self._pugz_compatible and data:
             import numpy as np
 
@@ -286,6 +313,7 @@ class ParallelGzipReader:
     def read(self, size: int = -1) -> bytes:
         with self._lock:
             self._check_open()
+            started = time.perf_counter()
             pieces = []
             remaining = size if size >= 0 else None
             while remaining is None or remaining > 0:
@@ -304,7 +332,17 @@ class ParallelGzipReader:
                 self._position += len(piece)
                 if remaining is not None:
                     remaining -= len(piece)
-            return b"".join(pieces)
+            result = b"".join(pieces)
+            finished = time.perf_counter()
+            self._read_calls.increment()
+            self._read_seconds.observe(finished - started)
+            recorder = self.telemetry.recorder
+            if recorder.enabled:
+                recorder.complete(
+                    "reader.read", started, finished,
+                    requested=size, returned=len(result),
+                )
+            return result
 
     def readinto(self, buffer) -> int:
         view = memoryview(buffer)
@@ -422,7 +460,15 @@ class ParallelGzipReader:
         stats = self._fetcher.statistics()
         stats["chunks_decoded"] = len(self._block_map)
         stats["known_size"] = self._block_map.known_size
+        stats["read_calls"] = self._read_calls.value
+        stats["metrics"] = self.telemetry.metrics.as_dict()
         return stats
+
+    def save_trace(self, target) -> None:
+        """Export the recorded Chrome trace-event JSON (requires
+        construction with ``trace=True``); ``target`` is a path or a text
+        file-like object. Load the file in Perfetto or chrome://tracing."""
+        self.telemetry.recorder.export(target)
 
     # -- lifecycle --------------------------------------------------------------------
 

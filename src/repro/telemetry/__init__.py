@@ -1,0 +1,49 @@
+"""Telemetry: chunk-lifecycle tracing, metrics, and profile reports.
+
+One :class:`Telemetry` object travels through a decode pipeline
+(reader → fetcher → pool → decode tasks → block finders) and bundles:
+
+* ``recorder`` — span tracing with Chrome trace-event export
+  (:class:`TraceRecorder`), or the zero-overhead :data:`NULL_RECORDER`
+  when tracing is off (the default);
+* ``metrics`` — the always-on :class:`MetricsRegistry` of counters,
+  gauges, and histograms that backs ``statistics()`` snapshots and the
+  ``--profile`` report.
+
+Usage::
+
+    from repro import ParallelGzipReader
+
+    with ParallelGzipReader("data.gz", parallelization=8, trace=True) as r:
+        r.read()
+        r.save_trace("decode.trace.json")   # open in Perfetto
+        print(r.statistics()["metrics"]["pool.queue_wait_seconds"])
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import format_profile
+from .recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Telemetry",
+    "TraceRecorder",
+    "format_profile",
+]
+
+
+class Telemetry:
+    """Recorder + metrics bundle shared by one decode pipeline."""
+
+    def __init__(self, trace: bool = False, metrics: MetricsRegistry = None):
+        self.recorder = TraceRecorder() if trace else NULL_RECORDER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def tracing(self) -> bool:
+        return self.recorder.enabled

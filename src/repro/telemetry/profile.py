@@ -1,0 +1,137 @@
+"""Human-readable profile report (rapidgzip-style ``[Info]`` summary).
+
+Renders one :meth:`ParallelGzipReader.statistics` snapshot into the kind
+of post-run summary rapidgzip prints under ``--verbose``: wall-time
+breakdown, per-worker utilization, speculative-waste ratio, block-finder
+filter efficiency, and cache behavior — the live counterparts of the
+paper's Fig. 9–12 scaling analysis and Table 1 filter rates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_profile"]
+
+
+def _fmt_seconds(value) -> str:
+    if value is None:
+        return "n/a"
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.0f} us"
+
+
+def _fmt_percent(numerator, denominator) -> str:
+    if not denominator:
+        return "n/a"
+    return f"{100.0 * numerator / denominator:.1f} %"
+
+
+def _histogram_line(label: str, summary: dict) -> str:
+    return (
+        f"{label:<28}: p50 {_fmt_seconds(summary.get('p50'))}, "
+        f"p90 {_fmt_seconds(summary.get('p90'))}, "
+        f"max {_fmt_seconds(summary.get('max'))} "
+        f"({summary.get('count', 0)} samples)"
+    )
+
+
+def format_profile(statistics: dict, *, wall_time: float = None,
+                   output_bytes: int = None) -> list:
+    """Build the ``[Info]`` summary lines from a statistics snapshot."""
+    metrics = statistics.get("metrics", {})
+    pool = statistics.get("pool", {})
+    lines = []
+
+    def info(text: str) -> None:
+        lines.append(f"[Info] {text}")
+
+    if output_bytes is None:
+        output_bytes = statistics.get("known_size")
+    if wall_time and output_bytes:
+        bandwidth = output_bytes / wall_time / 1e6
+        info(
+            f"Decompressed {output_bytes} B in {wall_time:.3f} s "
+            f"-> {bandwidth:.1f} MB/s"
+        )
+
+    mode = statistics.get("mode", "?")
+    chunks = statistics.get("chunks_decoded")
+    on_demand = statistics.get("on_demand_decodes", 0)
+    if chunks is not None:
+        info(
+            f"{'Chunks decoded':<28}: {chunks} in {mode} mode "
+            f"({on_demand} on-demand)"
+        )
+
+    submitted = statistics.get("speculative_submitted", 0)
+    unusable = statistics.get("speculative_unusable", 0)
+    if submitted:
+        used = statistics.get("prefetch_cache", {}).get("hits", 0)
+        wasted = max(submitted - used, 0)
+        info(
+            f"{'Speculative decodes':<28}: {submitted} submitted, "
+            f"{unusable} unusable, {wasted} unused "
+            f"(waste {_fmt_percent(wasted, submitted)})"
+        )
+
+    tested = metrics.get("blockfinder.candidates_tested", 0)
+    accepted = metrics.get("blockfinder.candidates_accepted", 0)
+    if tested:
+        false_positives = metrics.get("fetcher.decode_false_positives", 0)
+        info(
+            f"{'Block finder':<28}: {tested} candidates tested, "
+            f"{accepted} accepted "
+            f"(filtered {_fmt_percent(tested - accepted, tested)}), "
+            f"{false_positives} decode false positives"
+        )
+
+    for label, key in (
+        ("Prefetch cache", "prefetch_cache"),
+        ("Access cache", "access_cache"),
+    ):
+        cache = statistics.get(key)
+        if cache:
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            info(
+                f"{label:<28}: {cache.get('hits', 0)} hits / "
+                f"{lookups} lookups "
+                f"({_fmt_percent(cache.get('hits', 0), lookups)}), "
+                f"{cache.get('evictions', 0)} evictions"
+            )
+
+    if pool:
+        utilization = pool.get("utilization")
+        workers = pool.get("workers", 0)
+        if utilization is not None:
+            info(
+                f"{'Worker utilization':<28}: {utilization * 100:.1f} % "
+                f"across {workers} worker(s) over "
+                f"{_fmt_seconds(pool.get('elapsed_seconds'))}"
+            )
+        busy = pool.get("worker_busy_seconds", {})
+        elapsed = pool.get("elapsed_seconds") or 0.0
+        for name in sorted(busy):
+            share = busy[name] / elapsed if elapsed else 0.0
+            info(
+                f"  {name:<26}: busy {_fmt_seconds(busy[name])} "
+                f"({share * 100:.1f} %)"
+            )
+        info(
+            f"{'Pool tasks':<28}: {pool.get('tasks_submitted', 0)} submitted, "
+            f"{pool.get('tasks_completed', 0)} completed, "
+            f"{pool.get('tasks_cancelled', 0)} cancelled, "
+            f"{pool.get('queued', 0)} still queued"
+        )
+
+    for label, key in (
+        ("Queue wait", "pool.queue_wait_seconds"),
+        ("Task run time", "pool.task_seconds"),
+        ("Read-call latency", "reader.read_seconds"),
+    ):
+        summary = metrics.get(key)
+        if summary and summary.get("count"):
+            info(_histogram_line(label, summary))
+
+    return lines

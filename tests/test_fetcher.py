@@ -147,7 +147,7 @@ class TestGzipChunkFetcher:
                 start = result.end_bit
             stats = fetcher.statistics()
             assert stats["speculative_submitted"] > 0
-            assert stats["prefetch_cache"].hits > 0
+            assert stats["prefetch_cache"]["hits"] > 0
             # On-demand decodes stay rare: only the first chunk plus any
             # speculative misfire.
             assert stats["on_demand_decodes"] <= 2
