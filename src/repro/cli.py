@@ -54,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KiB",
         help="compressed chunk size in KiB (default: 4096 = 4 MiB)",
     )
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "threads", "processes"],
+        help="worker pool backend; auto (default) uses processes for the "
+        "GIL-bound search path on multi-core machines and threads for "
+        "the zlib-delegation paths (loaded index, BGZF)",
+    )
     parser.add_argument("-o", "--output", help="output file path")
     parser.add_argument(
         "-c", "--stdout", action="store_true", help="write output to stdout"
@@ -238,6 +246,7 @@ def _dispatch(arguments) -> int:
         chunk_size=arguments.chunk_size * 1024,
         verify=not arguments.no_verify,
         index=index,
+        backend=arguments.backend,
         trace=bool(arguments.trace),
     )
     try:

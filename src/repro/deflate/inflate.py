@@ -156,7 +156,13 @@ class TwoStageStreamDecoder:
         cut = len(buffer) - keep
         if cut <= self._seed_length:
             return
-        self.payload.append_bytes(bytes(buffer[self._seed_length : cut]))
+        # bytes(memoryview) copies once; bytes(bytearray-slice) would copy
+        # twice (slice, then conversion) — this runs per flush on the hot
+        # post-fallback path, so the extra multi-MiB copy matters.
+        view = memoryview(buffer)
+        data = bytes(view[self._seed_length : cut])
+        view.release()
+        self.payload.append_bytes(data)
         self._emitted += cut - self._seed_length
         self._byte_buffer = buffer[cut:]
         self._seed_length = 0
@@ -186,7 +192,10 @@ class TwoStageStreamDecoder:
             self._list_buffer = []
             self._seed_length = 0
         else:
-            self.payload.append_bytes(bytes(self._byte_buffer[self._seed_length :]))
+            view = memoryview(self._byte_buffer)
+            data = bytes(view[self._seed_length :])
+            view.release()
+            self.payload.append_bytes(data)
             self._emitted += len(self._byte_buffer) - self._seed_length
             self._byte_buffer = bytearray()
             self._seed_length = 0

@@ -60,9 +60,9 @@ def replace_markers(segment: np.ndarray, window: bytes) -> bytes:
     window_array = np.frombuffer(window, dtype=np.uint8)
     is_marker = segment >= MARKER_FLAG
     offsets = segment & (MARKER_FLAG - 1)
-    resolved = np.where(
-        is_marker, window_array[offsets], segment.astype(np.uint16)
-    ).astype(np.uint8)
+    # segment is already uint16; an astype here would add a full copy of
+    # every segment on the stage-2 hot path for nothing.
+    resolved = np.where(is_marker, window_array[offsets], segment).astype(np.uint8)
     return resolved.tobytes()
 
 

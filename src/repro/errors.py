@@ -49,5 +49,15 @@ class UsageError(ReproError):
     """The public API was used incorrectly (bad arguments, closed reader)."""
 
 
+class WorkerCrashedError(ReproError):
+    """A pool worker process died before finishing its task.
+
+    Raised from the task's future (and therefore from
+    :meth:`GzipChunkFetcher.request`) when a process-backend worker is
+    killed — OOM, signal, or interpreter abort — so the failure surfaces
+    to the consumer instead of hanging the pipeline.
+    """
+
+
 class RecoveryError(ReproError):
     """Corrupted-file recovery could not locate any decodable region."""

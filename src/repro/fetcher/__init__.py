@@ -6,19 +6,25 @@ from .decode import (
     StreamEvent,
     decode_bgzf_members,
     decode_chunk_range,
+    decode_index_chunk,
     shift_to_byte_alignment,
     speculative_decode,
     zlib_decode_range,
 )
 from .gzip_chunk_fetcher import DEFAULT_CHUNK_SIZE, GzipChunkFetcher
+from .tasks import ChunkTaskSpec, RemoteChunkOutcome, execute_chunk_task
 
 __all__ = [
     "BlockMap",
     "ChunkRecord",
     "ChunkResult",
+    "ChunkTaskSpec",
+    "RemoteChunkOutcome",
     "StreamEvent",
     "decode_bgzf_members",
     "decode_chunk_range",
+    "decode_index_chunk",
+    "execute_chunk_task",
     "shift_to_byte_alignment",
     "speculative_decode",
     "zlib_decode_range",

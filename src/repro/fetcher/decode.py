@@ -38,6 +38,7 @@ __all__ = [
     "ChunkResult",
     "StreamEvent",
     "decode_chunk_range",
+    "decode_index_chunk",
     "speculative_decode",
     "zlib_decode_range",
     "decode_bgzf_members",
@@ -259,17 +260,26 @@ def shift_to_byte_alignment(file_reader, start_bit: int, end_bit: int) -> bytes:
     NumPy-vectorized bit shift: ``out[i] = in[i] >> s | in[i+1] << (8-s)``.
     This is the pre-processing that lets zlib decode from an arbitrary bit
     offset.
+
+    With a nonzero shift every output byte needs bits from *two* input
+    bytes, so one byte past ``end_byte`` is read as well; when the file
+    ends first, a zero byte shifts in instead — previously the trailing
+    partial byte (and, on the single-byte path, the whole tail of a range
+    ending near EOF) was silently dropped.
     """
     start_byte, shift = divmod(start_bit, 8)
     end_byte = (end_bit + 7) // 8
-    raw = file_reader.pread(start_byte, end_byte - start_byte + 1)
+    length = end_byte - start_byte
+    raw = file_reader.pread(start_byte, length + 1)
     if shift == 0:
-        return raw[: end_byte - start_byte]
+        return raw[:length]
     arr = np.frombuffer(raw, dtype=np.uint8).astype(np.uint16)
-    if len(arr) < 2:
-        return bytes([(int(arr[0]) >> shift) & 0xFF]) if len(arr) else b""
+    if len(arr) == 0:
+        return b""
+    if len(arr) <= length:  # EOF swallowed the lookahead byte
+        arr = np.append(arr, np.uint16(0))
     shifted = ((arr[:-1] >> shift) | (arr[1:] << (8 - shift))) & 0xFF
-    return shifted.astype(np.uint8).tobytes()
+    return shifted[:length].astype(np.uint8).tobytes()
 
 
 def _resolve_footer_byte(file_reader, end_of_consumed_bit: int) -> int:
@@ -387,6 +397,37 @@ def _truncate_payload(payload: ChunkPayload, size: int) -> None:
             break
     payload.segments = kept
     payload.length = total
+
+
+def decode_index_chunk(
+    file_reader,
+    start_bit: int,
+    end_bit: int,
+    window: bytes,
+    *,
+    expected_size: int = None,
+    is_last: bool = False,
+    max_output: int = None,
+) -> ChunkResult:
+    """Decode one index-interval chunk: zlib fast path, our decoder as
+    fallback (paper §3.3).
+
+    Shared by the fetcher's thread tasks and the process backend's child
+    entry point, so both backends decode index chunks identically. Streams
+    the shifted-buffer zlib path cannot cleanly cut (e.g. member
+    boundaries flush-aligned oddly) fall back to the two-stage decoder in
+    conventional mode.
+    """
+    try:
+        result = zlib_decode_range(
+            file_reader, start_bit, end_bit, window, expected_size=expected_size
+        )
+    except FormatError:
+        result = decode_chunk_range(
+            file_reader, start_bit, end_bit, window, max_output=max_output
+        )
+    result.end_bit = None if is_last else end_bit
+    return result
 
 
 def decode_bgzf_members(file_reader, member_offsets: list, end_offset: int) -> ChunkResult:

@@ -25,14 +25,21 @@ from ..cache import FetchNextAdaptive, LRUCache
 from ..errors import FormatError, UsageError
 from ..gz.bgzf import bgzf_block_offsets, is_bgzf
 from ..io import ensure_file_reader
-from ..pool import PRIORITY_PREFETCH, ThreadPool
+from ..pool import PRIORITY_PREFETCH, create_pool, resolve_backend
 from ..telemetry import Telemetry
 from .decode import (
     ChunkResult,
     decode_bgzf_members,
     decode_chunk_range,
+    decode_index_chunk,
     speculative_decode,
-    zlib_decode_range,
+)
+from .tasks import (
+    ChunkTaskSpec,
+    RemoteChunkOutcome,
+    execute_chunk_task,
+    make_reader_recipe,
+    release_inherited_source,
 )
 
 __all__ = ["GzipChunkFetcher", "DEFAULT_CHUNK_SIZE"]
@@ -56,6 +63,7 @@ class GzipChunkFetcher:
         index=None,
         prefetch_cache_size: int = None,
         detect_bgzf: bool = True,
+        backend: str = "auto",
         telemetry: Telemetry = None,
     ):
         if parallelization < 1:
@@ -70,7 +78,41 @@ class GzipChunkFetcher:
         self.max_chunk_output = max_chunk_output
         self.telemetry = telemetry if telemetry is not None else Telemetry()
 
-        self.pool = ThreadPool(parallelization, telemetry=self.telemetry)
+        # Mode detection must precede pool creation: backend="auto" picks
+        # processes only for the GIL-bound search mode, and a process
+        # pool's reader recipe must be registered before workers fork.
+        self._index = None
+        self._bgzf_groups = None
+        if index is not None and getattr(index, "finalized", False) and len(index):
+            self._index = index
+            self.mode = "index"
+            self._key_to_id = {
+                point.compressed_bit_offset: i for i, point in enumerate(index)
+            }
+        elif detect_bgzf and is_bgzf(self.file_reader):
+            self._bgzf_groups = self._build_bgzf_groups()
+            self.mode = "bgzf"
+            self._key_to_id = {
+                group[0][0] * 8: i for i, group in enumerate(self._bgzf_groups)
+            }
+        else:
+            self.mode = "search"
+
+        self.backend = resolve_backend(
+            backend, mode=self.mode, parallelization=parallelization
+        )
+        self._recipe = None
+        self._recipe_token = None
+        if self.backend == "processes":
+            import multiprocessing
+
+            fork = "fork" in multiprocessing.get_all_start_methods()
+            self._recipe, self._recipe_token = make_reader_recipe(
+                self.file_reader, fork=fork
+            )
+        self.pool = create_pool(
+            self.backend, parallelization, telemetry=self.telemetry
+        )
         capacity = prefetch_cache_size or max(2 * parallelization, 2)
         self.prefetch_cache = LRUCache(capacity)
         self.access_cache = LRUCache(max(parallelization // 4, 1))
@@ -93,23 +135,6 @@ class GzipChunkFetcher:
         metrics.probe(
             "cache.access", lambda: self.access_cache.statistics.as_dict()
         )
-
-        self._index = None
-        self._bgzf_groups = None
-        if index is not None and getattr(index, "finalized", False) and len(index):
-            self._index = index
-            self.mode = "index"
-            self._key_to_id = {
-                point.compressed_bit_offset: i for i, point in enumerate(index)
-            }
-        elif detect_bgzf and is_bgzf(self.file_reader):
-            self._bgzf_groups = self._build_bgzf_groups()
-            self.mode = "bgzf"
-            self._key_to_id = {
-                group[0][0] * 8: i for i, group in enumerate(self._bgzf_groups)
-            }
-        else:
-            self.mode = "search"
 
     # -- chunk-id database (offsets <-> indexes, paper §3.2) --------------------
 
@@ -182,37 +207,73 @@ class GzipChunkFetcher:
         ):
             return self._task_for_id(chunk_id)
 
-    def _decode_index_chunk(self, chunk_id: int) -> ChunkResult:
+    def _index_bounds(self, chunk_id: int):
+        """(start_bit, end_bit, expected_size, is_last) for an index chunk."""
         point = self._index[chunk_id]
         if chunk_id + 1 < len(self._index):
             next_point = self._index[chunk_id + 1]
             end_bit = next_point.compressed_bit_offset
             expected = next_point.uncompressed_offset - point.uncompressed_offset
+            return point, end_bit, expected, False
+        end_bit = self._index.compressed_size_bits
+        expected = self._index.uncompressed_size - point.uncompressed_offset
+        return point, end_bit, expected, True
+
+    def _decode_index_chunk(self, chunk_id: int) -> ChunkResult:
+        point, end_bit, expected, is_last = self._index_bounds(chunk_id)
+        return decode_index_chunk(
+            self.file_reader,
+            point.compressed_bit_offset,
+            end_bit,
+            point.window,
+            expected_size=expected,
+            is_last=is_last,
+            max_output=self.max_chunk_output,
+        )
+
+    def _spec_for_id(self, chunk_id: int) -> ChunkTaskSpec:
+        """Picklable description of one chunk task, for the process pool."""
+        spec = ChunkTaskSpec(
+            recipe=self._recipe,
+            mode=self.mode,
+            chunk_id=chunk_id,
+            trace=self.telemetry.tracing,
+            trace_origin=self.telemetry.recorder.origin,
+        )
+        if self.mode == "search":
+            spec.chunk_size = self.chunk_size
+            spec.find_uncompressed = self.find_uncompressed
+            spec.max_output = self.max_chunk_output
+        elif self.mode == "index":
+            point, end_bit, expected, is_last = self._index_bounds(chunk_id)
+            spec.start_bit = point.compressed_bit_offset
+            spec.end_bit = end_bit
+            spec.window = bytes(point.window)
+            spec.expected_size = expected
+            spec.is_last = is_last
+            spec.max_output = self.max_chunk_output
         else:
-            end_bit = self._index.compressed_size_bits
-            expected = self._index.uncompressed_size - point.uncompressed_offset
-        try:
-            result = zlib_decode_range(
-                self.file_reader,
-                point.compressed_bit_offset,
-                end_bit,
-                point.window,
-                expected_size=expected,
-            )
-        except FormatError:
-            # Streams the shifted-buffer zlib path cannot cleanly cut (e.g.
-            # member boundaries flush-aligned oddly) fall back to our decoder.
-            result = decode_chunk_range(
-                self.file_reader,
-                point.compressed_bit_offset,
-                end_bit,
-                point.window,
-                max_output=self.max_chunk_output,
-            )
-        result.end_bit = end_bit if chunk_id + 1 < len(self._index) else None
-        return result
+            members, end = self._bgzf_groups[chunk_id]
+            spec.member_offsets = tuple(members)
+            spec.end_offset = end
+        return spec
 
     # -- cache plumbing ------------------------------------------------------------
+
+    def _absorb(self, outcome):
+        """Unwrap a future's value; fold remote telemetry into ours.
+
+        Thread futures carry the :class:`ChunkResult` directly; process
+        futures carry a :class:`RemoteChunkOutcome` whose metrics and
+        trace events the worker accumulated in its own address space.
+        """
+        if isinstance(outcome, RemoteChunkOutcome):
+            if outcome.metrics:
+                self.telemetry.metrics.merge_state(outcome.metrics)
+            if outcome.trace_events:
+                self.telemetry.recorder.ingest(outcome.trace_events)
+            return outcome.result
+        return outcome
 
     def _harvest(self) -> None:
         """Move completed speculative futures into the prefetch cache."""
@@ -225,7 +286,7 @@ class GzipChunkFetcher:
             for chunk_id, future in finished:
                 del self._futures[chunk_id]
                 try:
-                    result = future.result()
+                    result = self._absorb(future.result())
                 except FormatError:
                     result = None
                 if result is None:
@@ -245,10 +306,16 @@ class GzipChunkFetcher:
             ):
                 return
             self._speculative_submitted.increment()
-            self._futures[chunk_id] = self.pool.submit(
-                self._run_chunk_task, chunk_id, "speculative",
-                priority=PRIORITY_PREFETCH,
-            )
+            if self.backend == "processes":
+                self._futures[chunk_id] = self.pool.submit(
+                    execute_chunk_task, self._spec_for_id(chunk_id),
+                    priority=PRIORITY_PREFETCH,
+                )
+            else:
+                self._futures[chunk_id] = self.pool.submit(
+                    self._run_chunk_task, chunk_id, "speculative",
+                    priority=PRIORITY_PREFETCH,
+                )
 
     def _trigger_prefetch(self, accessed_id: int) -> None:
         self._history.append(accessed_id)
@@ -340,6 +407,7 @@ class GzipChunkFetcher:
         """Plain-dict snapshot (no live mutable objects leak out)."""
         return {
             "mode": self.mode,
+            "backend": self.backend,
             "prefetch_cache": self.prefetch_cache.statistics.as_dict(),
             "access_cache": self.access_cache.statistics.as_dict(),
             "speculative_submitted": self.speculative_submitted,
@@ -350,6 +418,9 @@ class GzipChunkFetcher:
 
     def close(self) -> None:
         self.pool.shutdown(wait=True)
+        if self._recipe_token is not None:
+            release_inherited_source(self._recipe_token)
+            self._recipe_token = None
         self.file_reader.close()
 
     def __enter__(self) -> "GzipChunkFetcher":

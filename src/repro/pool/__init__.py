@@ -1,5 +1,16 @@
-"""Worker thread pool."""
+"""Worker pools: priority thread pool and multi-core process pool."""
 
+from .backend import BACKENDS, available_cores, create_pool, resolve_backend
+from .process_pool import ProcessPool
 from .thread_pool import PRIORITY_ON_DEMAND, PRIORITY_PREFETCH, ThreadPool
 
-__all__ = ["PRIORITY_ON_DEMAND", "PRIORITY_PREFETCH", "ThreadPool"]
+__all__ = [
+    "BACKENDS",
+    "PRIORITY_ON_DEMAND",
+    "PRIORITY_PREFETCH",
+    "ProcessPool",
+    "ThreadPool",
+    "available_cores",
+    "create_pool",
+    "resolve_backend",
+]

@@ -1,0 +1,68 @@
+"""Worker backend selection: threads vs. processes.
+
+The decode pipeline has two kinds of hot path. The zlib-delegation modes
+(loaded index, BGZF) spend their time inside zlib, which releases the
+GIL, so threads already scale and stay the cheaper choice — no pickling,
+no per-worker file handles. The two-stage search path is pure Python and
+GIL-bound: only worker *processes* give it real multi-core speedup
+(paper Figs. 9–12; pugz's chunk-per-worker scheme on actual threads).
+
+``resolve_backend`` encodes that rule for ``backend="auto"``: processes
+exactly when the speculative two-stage path is active, more than one
+worker is requested, and the machine has more than one usable core —
+otherwise threads (on a single core a process pool only adds IPC cost).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import UsageError
+
+__all__ = ["BACKENDS", "available_cores", "create_pool", "resolve_backend"]
+
+#: Accepted values for the ``backend`` argument across the stack.
+BACKENDS = ("auto", "threads", "processes")
+
+
+def available_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_backend(backend: str, *, mode: str, parallelization: int) -> str:
+    """Map a requested backend (possibly ``auto``) to a concrete one.
+
+    ``mode`` is the fetcher's operating mode (``search``/``index``/
+    ``bgzf``); only ``search`` runs the GIL-bound two-stage decoder.
+    """
+    if backend not in BACKENDS:
+        raise UsageError(
+            f"unknown backend {backend!r}; choose one of {', '.join(BACKENDS)}"
+        )
+    if backend != "auto":
+        return backend
+    if mode != "search" or parallelization < 2:
+        return "threads"
+    if available_cores() < 2:
+        return "threads"
+    return "processes"
+
+
+def create_pool(backend: str, size: int, *, telemetry=None, context=None):
+    """Instantiate the pool for a *concrete* backend name."""
+    if backend == "threads":
+        from .thread_pool import ThreadPool
+
+        return ThreadPool(size, telemetry=telemetry)
+    if backend == "processes":
+        from .process_pool import ProcessPool
+
+        return ProcessPool(size, telemetry=telemetry, context=context)
+    raise UsageError(
+        f"cannot create a pool for backend {backend!r}; resolve 'auto' with "
+        f"resolve_backend() first"
+    )

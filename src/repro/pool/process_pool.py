@@ -1,0 +1,448 @@
+"""Worker process pool: real multi-core execution for GIL-bound decoding.
+
+The two-stage decoder's hot path is pure Python, so :class:`ThreadPool`
+workers serialize on the GIL and speculative chunk decodes gain nothing
+from extra cores. :class:`ProcessPool` runs the same priority-scheduled
+task model on ``multiprocessing`` workers instead: tasks must be
+*descriptions* — a picklable module-level callable plus picklable
+arguments — and results travel back through a pipe, so each decode
+genuinely occupies its own core.
+
+Scheduling stays parent-side: a dispatcher thread holds the priority
+queue and feeds exactly one task at a time to each idle worker over a
+dedicated duplex pipe. Queued work therefore keeps its priority ordering
+(an on-demand decode still overtakes pending prefetches) and cancelling
+an undispatched future never reaches a child at all.
+
+Failure model: a worker that dies mid-task (OOM kill, signal, interpreter
+abort) closes its pipe, which wakes the dispatcher; the in-flight task's
+future receives :class:`~repro.errors.WorkerCrashedError` and the pool
+continues on the surviving workers. If every worker is gone, all queued
+futures fail the same way instead of hanging their waiters.
+
+Start method: ``fork`` where available (Linux — chunk sources registered
+in the parent are inherited copy-on-write), ``spawn`` otherwise; pass an
+explicit ``multiprocessing`` context to override.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from multiprocessing import connection
+
+from ..errors import UsageError, WorkerCrashedError
+from ..telemetry import Telemetry
+from .thread_pool import PRIORITY_PREFETCH
+
+__all__ = ["ProcessPool"]
+
+
+def _worker_main(conn) -> None:
+    """Child-side loop: receive (task_id, function, args, kwargs), reply.
+
+    Replies are ``(task_id, ok, value_or_error, run_seconds)``. Exceptions
+    are shipped back as objects when picklable, otherwise downgraded to a
+    descriptive :class:`UsageError` so the parent always gets *an* answer.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            conn.close()
+            return
+        task_id, function, args, kwargs = item
+        started = time.perf_counter()
+        try:
+            value = function(*args, **kwargs)
+            message = (task_id, True, value, time.perf_counter() - started)
+        except BaseException as error:  # ship the failure to the waiter
+            message = (task_id, False, error, time.perf_counter() - started)
+        try:
+            conn.send(message)
+        except (TypeError, ValueError, AttributeError) as pickle_error:
+            conn.send(
+                (
+                    task_id,
+                    False,
+                    UsageError(
+                        f"task result could not be pickled back to the "
+                        f"parent: {pickle_error}"
+                    ),
+                    time.perf_counter() - started,
+                )
+            )
+
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("process", "conn", "name", "current")
+
+    def __init__(self, process, conn, name):
+        self.process = process
+        self.conn = conn
+        self.name = name
+        self.current = None  # in-flight _TaskRecord, None when idle
+
+
+class _TaskRecord:
+    __slots__ = ("task_id", "future", "priority", "submitted", "dispatched")
+
+    def __init__(self, task_id, future, priority, submitted):
+        self.task_id = task_id
+        self.future = future
+        self.priority = priority
+        self.submitted = submitted
+        self.dispatched = None
+
+
+class ProcessPool:
+    """Fixed-size priority pool executing picklable tasks in processes.
+
+    API-compatible with :class:`ThreadPool`: ``submit()`` returns a
+    :class:`concurrent.futures.Future`, priorities order queued work, and
+    ``statistics()`` exposes the same keys, so the fetcher and the profile
+    report work against either backend unchanged.
+    """
+
+    def __init__(self, size: int, name: str = "repro-worker", telemetry=None,
+                 context=None):
+        if size < 1:
+            raise UsageError("process pool needs at least one worker")
+        self.size = size
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
+        if context is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+        self._context = context
+        self.start_method = context.get_start_method()
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._sequence = itertools.count()  # FIFO tie-breaker per priority
+        self._task_ids = itertools.count()
+        self._shutdown = False
+        self._drained = threading.Event()
+        self._lock = threading.Lock()
+        self._started_at = time.perf_counter()
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.tasks_cancelled = 0
+        self._tasks_dispatched = 0
+        self._busy_seconds: dict = {}
+        metrics = self._telemetry.metrics
+        self._queue_wait = metrics.histogram("pool.queue_wait_seconds")
+        self._task_time = metrics.histogram("pool.task_seconds")
+        metrics.probe("pool.queued", lambda: self.queued)
+        metrics.probe("pool.tasks_submitted", lambda: self.tasks_submitted)
+        metrics.probe("pool.tasks_completed", lambda: self.tasks_completed)
+        metrics.probe("pool.tasks_cancelled", lambda: self.tasks_cancelled)
+
+        self._workers: list = []
+        for index in range(size):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name=f"{name}-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()  # parent keeps only its end
+            self._workers.append(_Worker(process, parent_conn, process.name))
+        recorder = self._telemetry.recorder
+        if recorder.enabled:
+            for worker in self._workers:
+                recorder.set_thread_name(worker.name, tid=worker.process.pid)
+
+        # Dispatcher wakeup pipe: submit()/shutdown() nudge the loop.
+        self._wakeup_read, self._wakeup_write = os.pipe()
+        os.set_blocking(self._wakeup_read, False)
+        os.set_blocking(self._wakeup_write, False)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"{name}-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, function, /, *args, priority: int = PRIORITY_PREFETCH,
+               **kwargs) -> Future:
+        """Queue ``function(*args, **kwargs)``; lower priority runs first.
+
+        ``function`` must be a module-level callable and all arguments
+        picklable — they are shipped to a worker process by value.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise UsageError("submit on a shut-down ProcessPool")
+            self.tasks_submitted += 1
+        future: Future = Future()
+        record = _TaskRecord(
+            next(self._task_ids), future, priority, time.perf_counter()
+        )
+        self._queue.put(
+            (priority, next(self._sequence), record, function, args, kwargs)
+        )
+        self._wake()
+        return future
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wakeup_write, b"\0")
+        except (BlockingIOError, OSError):
+            pass  # pipe full or already closed: the loop is awake anyway
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        workers = list(self._workers)
+        try:
+            while True:
+                self._fill_idle_workers(workers)
+                with self._lock:
+                    stopping = self._shutdown
+                busy = [w for w in workers if w.current is not None]
+                if stopping and not busy and self._queue.empty():
+                    break
+                if not workers:
+                    self._fail_all_queued()
+                    with self._lock:
+                        if self._shutdown:
+                            break
+                    # No workers left but the pool is still open: sleep on
+                    # the wakeup pipe so late submits fail fast, not hang.
+                    connection.wait([self._wakeup_read], timeout=0.5)
+                    self._drain_wakeups()
+                    continue
+                ready = connection.wait(
+                    [w.conn for w in workers] + [self._wakeup_read]
+                )
+                if self._wakeup_read in ready:
+                    self._drain_wakeups()
+                for worker in [w for w in workers if w.conn in ready]:
+                    if not self._collect(worker):
+                        workers.remove(worker)
+        finally:
+            self._stop_workers(workers)
+            self._drained.set()
+
+    def _drain_wakeups(self) -> None:
+        while True:
+            try:
+                if not os.read(self._wakeup_read, 4096):
+                    return
+            except (BlockingIOError, OSError):
+                return
+
+    def _fill_idle_workers(self, workers) -> None:
+        """Hand the highest-priority queued tasks to idle workers."""
+        idle = [w for w in workers if w.current is None]
+        while idle:
+            try:
+                priority, _seq, record, function, args, kwargs = (
+                    self._queue.get_nowait()
+                )
+            except queue.Empty:
+                return
+            if not record.future.set_running_or_notify_cancel():
+                with self._lock:
+                    self.tasks_cancelled += 1
+                continue
+            record.dispatched = time.perf_counter()
+            self._queue_wait.observe(record.dispatched - record.submitted)
+            recorder = self._telemetry.recorder
+            if recorder.enabled:
+                recorder.complete(
+                    "pool.queue_wait", record.submitted, record.dispatched,
+                    priority=priority,
+                )
+            worker = idle.pop()
+            worker.current = record
+            with self._lock:
+                self._tasks_dispatched += 1
+            try:
+                worker.conn.send((record.task_id, function, args, kwargs))
+            except (pickle.PicklingError, ValueError, TypeError,
+                    AttributeError) as error:
+                # Pickling happens before any bytes hit the pipe, so the
+                # worker is untouched and stays available.
+                worker.current = None
+                idle.append(worker)
+                with self._lock:
+                    self.tasks_completed += 1
+                record.future.set_exception(
+                    UsageError(f"task is not picklable: {error}")
+                )
+            except (BrokenPipeError, OSError):
+                # Worker died between wait() and send(); surface the crash
+                # now — the dead pipe is reaped on the next loop pass.
+                with self._lock:
+                    self.tasks_completed += 1
+                record.future.set_exception(
+                    WorkerCrashedError(
+                        f"worker {worker.name} died before accepting task "
+                        f"{record.task_id}"
+                    )
+                )
+                worker.current = None
+                return
+
+    def _collect(self, worker) -> bool:
+        """Receive one message from ``worker``; False when it is gone."""
+        try:
+            task_id, ok, value, run_seconds = worker.conn.recv()
+        except (EOFError, OSError):
+            self._handle_crash(worker)
+            return False
+        record = worker.current
+        worker.current = None
+        if record is None or record.task_id != task_id:
+            return True  # stale reply from a pre-crash requeue; drop it
+        finished = time.perf_counter()
+        self._task_time.observe(run_seconds)
+        recorder = self._telemetry.recorder
+        if recorder.enabled:
+            recorder.complete(
+                "pool.task", record.dispatched, finished,
+                tid=worker.process.pid, priority=record.priority,
+                run_seconds=run_seconds,
+            )
+        with self._lock:
+            self.tasks_completed += 1
+            self._busy_seconds[worker.name] = (
+                self._busy_seconds.get(worker.name, 0.0) + run_seconds
+            )
+        if ok:
+            record.future.set_result(value)
+        else:
+            record.future.set_exception(value)
+        return True
+
+    def _handle_crash(self, worker) -> None:
+        worker.process.join(timeout=1.0)
+        exit_code = worker.process.exitcode
+        record = worker.current
+        worker.current = None
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if record is not None:
+            with self._lock:
+                self.tasks_completed += 1
+            record.future.set_exception(
+                WorkerCrashedError(
+                    f"worker {worker.name} (pid {worker.process.pid}) died "
+                    f"with exit code {exit_code} while running task "
+                    f"{record.task_id}"
+                )
+            )
+
+    def _fail_all_queued(self) -> None:
+        while True:
+            try:
+                _prio, _seq, record, _f, _a, _k = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            with self._lock:
+                self.tasks_completed += 1
+            record.future.set_exception(
+                WorkerCrashedError("all pool workers have died")
+            )
+
+    def _stop_workers(self, workers) -> None:
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            already = self._shutdown
+            self._shutdown = True
+        if not already:
+            self._wake()
+        if wait:
+            self._drained.wait()
+            self._dispatcher.join(timeout=5.0)
+            for fd in (self._wakeup_read, self._wakeup_write):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Tasks submitted but not yet finished (running or queued)."""
+        with self._lock:
+            return self.tasks_submitted - self.tasks_completed - self.tasks_cancelled
+
+    @property
+    def queued(self) -> int:
+        """Tasks submitted but not yet handed to any worker."""
+        with self._lock:
+            return (
+                self.tasks_submitted - self._tasks_dispatched
+                - self.tasks_cancelled
+            )
+
+    def utilization(self) -> float:
+        """Fraction of worker wall time spent running tasks so far."""
+        elapsed = time.perf_counter() - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        with self._lock:
+            busy = sum(self._busy_seconds.values())
+        return min(busy / (elapsed * self.size), 1.0)
+
+    def statistics(self) -> dict:
+        """Plain-dict snapshot; same keys as :meth:`ThreadPool.statistics`."""
+        elapsed = time.perf_counter() - self._started_at
+        with self._lock:
+            busy = dict(self._busy_seconds)
+            submitted = self.tasks_submitted
+            completed = self.tasks_completed
+            cancelled = self.tasks_cancelled
+            dispatched = self._tasks_dispatched
+        return {
+            "workers": self.size,
+            "start_method": self.start_method,
+            "tasks_submitted": submitted,
+            "tasks_completed": completed,
+            "tasks_cancelled": cancelled,
+            "queued": submitted - dispatched - cancelled,
+            "worker_busy_seconds": busy,
+            "elapsed_seconds": elapsed,
+            "utilization": min(sum(busy.values()) / (elapsed * self.size), 1.0)
+            if elapsed > 0 else 0.0,
+        }
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -54,6 +54,7 @@ class ParallelGzipReader:
         max_chunk_output: int = None,
         detect_bgzf: bool = True,
         seek_point_spacing: int = None,
+        backend: str = "auto",
         trace: bool = False,
         telemetry: Telemetry = None,
     ):
@@ -66,6 +67,11 @@ class ParallelGzipReader:
         is not larger than the configured chunk size"). Defaults to
         ``2 * chunk_size``. This bounds both seek latency and the memory
         needed per chunk when the exported index is later imported.
+
+        ``backend`` picks the worker pool: ``"threads"``, ``"processes"``,
+        or ``"auto"`` (the default), which uses processes exactly when the
+        GIL-bound two-stage search path is active on a multi-core machine
+        and threads for the zlib-delegation paths (loaded index, BGZF).
 
         ``trace=True`` records chunk-lifecycle spans for the whole pipeline
         (reader, fetcher, pool workers, block finders); export them with
@@ -95,6 +101,7 @@ class ParallelGzipReader:
             max_chunk_output=max_chunk_output,
             index=index,
             detect_bgzf=detect_bgzf,
+            backend=backend,
             telemetry=self.telemetry,
         )
 

@@ -38,10 +38,18 @@ __all__ = [
 
 
 class Telemetry:
-    """Recorder + metrics bundle shared by one decode pipeline."""
+    """Recorder + metrics bundle shared by one decode pipeline.
 
-    def __init__(self, trace: bool = False, metrics: MetricsRegistry = None):
-        self.recorder = TraceRecorder() if trace else NULL_RECORDER
+    ``trace_origin`` pins the trace timestamp zero point; worker
+    processes pass the parent recorder's origin so their shipped-back
+    spans land on the parent's timeline.
+    """
+
+    def __init__(self, trace: bool = False, metrics: MetricsRegistry = None,
+                 trace_origin: float = None):
+        self.recorder = (
+            TraceRecorder(origin=trace_origin) if trace else NULL_RECORDER
+        )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     @property

@@ -60,6 +60,25 @@ class TestShiftToByteAlignment:
         shifted = shift_to_byte_alignment(reader, 3, 3 + len(raw) * 8)
         assert zlib.decompress(shifted, -15) == payload
 
+    def test_odd_bit_tail_at_eof_keeps_high_bits(self):
+        # Regression: when the interval's last byte is the last byte of the
+        # file, the lookahead byte does not exist; the shift used to drop
+        # the final byte's high bits instead of zero-filling them.
+        blob = bytes([0b10110101, 0b11001110])
+        reader = MemoryFileReader(blob)
+        shifted = shift_to_byte_alignment(reader, 3, 16)
+        expected = (int.from_bytes(blob, "little") >> 3).to_bytes(2, "little")
+        assert shifted == expected
+
+    def test_every_odd_shift_at_eof(self):
+        blob = bytes(range(1, 9))
+        reader = MemoryFileReader(blob)
+        value = int.from_bytes(blob, "little")
+        for shift in range(1, 8):
+            shifted = shift_to_byte_alignment(reader, shift, len(blob) * 8)
+            expected = (value >> shift).to_bytes(len(blob), "little")
+            assert shifted == expected, f"shift={shift}"
+
 
 class TestDecodeChunkRange:
     def test_full_stream(self):
@@ -112,14 +131,15 @@ class TestSpeculativeDecode:
         assert result is None or result.payload.length >= 0
 
 
+@pytest.mark.parametrize("backend", ["threads", "processes"])
 class TestGzipChunkFetcher:
-    def make(self, **kwargs):
+    def make(self, backend="threads", **kwargs):
         kwargs.setdefault("parallelization", 2)
         kwargs.setdefault("chunk_size", 32 * 1024)
-        return GzipChunkFetcher(BLOB, **kwargs)
+        return GzipChunkFetcher(BLOB, backend=backend, **kwargs)
 
-    def test_sequential_requests_follow_chain(self):
-        with self.make() as fetcher:
+    def test_sequential_requests_follow_chain(self, backend):
+        with self.make(backend) as fetcher:
             start = deflate_start(BLOB)
             window = b""
             output = bytearray()
@@ -135,8 +155,8 @@ class TestGzipChunkFetcher:
                 start = result.end_bit
             assert bytes(output) == DATA
 
-    def test_prefetch_produces_cache_hits(self):
-        with self.make(parallelization=4, strategy=FetchNextFixed()) as fetcher:
+    def test_prefetch_produces_cache_hits(self, backend):
+        with self.make(backend, parallelization=4, strategy=FetchNextFixed()) as fetcher:
             start = deflate_start(BLOB)
             window = b""
             while True:
@@ -152,13 +172,14 @@ class TestGzipChunkFetcher:
             # speculative misfire.
             assert stats["on_demand_decodes"] <= 2
 
-    def test_false_positive_results_never_corrupt_output(self):
+    def test_false_positive_results_never_corrupt_output(self, backend):
         # Stored-block files are the paper's false-positive breeding ground
         # (§3.4): the payload contains valid-looking Deflate headers.
         noise = ascii_data(300_000, seed=5)
         blob = gz_compress(noise, "gzip", level=0)
         fetcher = GzipChunkFetcher(
-            blob, parallelization=3, chunk_size=32 * 1024, detect_bgzf=False
+            blob, parallelization=3, chunk_size=32 * 1024, detect_bgzf=False,
+            backend=backend,
         )
         try:
             start = deflate_start(blob)
@@ -175,14 +196,14 @@ class TestGzipChunkFetcher:
         finally:
             fetcher.close()
 
-    def test_invalid_configuration(self):
+    def test_invalid_configuration(self, backend):
         with pytest.raises(UsageError):
-            GzipChunkFetcher(BLOB, parallelization=0)
+            GzipChunkFetcher(BLOB, parallelization=0, backend=backend)
         with pytest.raises(UsageError):
-            GzipChunkFetcher(BLOB, chunk_size=10)
+            GzipChunkFetcher(BLOB, chunk_size=10, backend=backend)
 
-    def test_chunk_id_mapping_search_mode(self):
-        with self.make() as fetcher:
+    def test_chunk_id_mapping_search_mode(self, backend):
+        with self.make(backend) as fetcher:
             assert fetcher.mode == "search"
             assert fetcher.chunk_id_for_bit(0) == 0
             assert fetcher.chunk_id_for_bit(32 * 1024 * 8) == 1

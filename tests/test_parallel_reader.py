@@ -54,6 +54,7 @@ def corpora():
     }
 
 
+@pytest.mark.parametrize("backend", ["threads", "processes"])
 @pytest.mark.parametrize("parallelization", [1, 2, 4])
 @pytest.mark.parametrize(
     "name",
@@ -67,9 +68,11 @@ def corpora():
         "multi-member",
     ],
 )
-def test_full_decompression_matches(corpora, name, parallelization):
+def test_full_decompression_matches(corpora, name, parallelization, backend):
     data, blob = corpora[name]
-    out = decompress_parallel(blob, parallelization, chunk_size=16 * 1024)
+    out = decompress_parallel(
+        blob, parallelization, chunk_size=16 * 1024, backend=backend
+    )
     assert out == data
 
 

@@ -124,11 +124,13 @@ class TestTraceRecorder:
         assert event["dur"] >= 0
         assert {"ts", "pid", "tid"} <= set(event)
 
-    def test_thread_metadata_once_per_thread(self):
+    def test_thread_metadata_deduplicated_per_name(self):
         recorder = TraceRecorder()
-        recorder.set_thread_name("custom")  # current thread already named
+        recorder.set_thread_name("custom")  # rename re-emits metadata
+        recorder.set_thread_name("custom")  # same name again does not
         metadata = [e for e in recorder.events() if e["ph"] == "M"]
-        assert len(metadata) == 1
+        assert len(metadata) == 2
+        assert metadata[-1]["args"]["name"] == "custom"
 
     def test_instant_and_counter_events(self):
         recorder = TraceRecorder()
