@@ -33,6 +33,7 @@ Subpackages (bottom-up):
 """
 
 from .errors import (
+    ChunkDecodeError,
     DeflateError,
     FormatError,
     GzipHeaderError,
@@ -42,11 +43,14 @@ from .errors import (
     ReproError,
     TruncatedError,
     UsageError,
+    WorkerCrashedError,
+    exit_code_for,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChunkDecodeError",
     "DeflateError",
     "FormatError",
     "GzipHeaderError",
@@ -56,6 +60,8 @@ __all__ = [
     "ReproError",
     "TruncatedError",
     "UsageError",
+    "WorkerCrashedError",
+    "exit_code_for",
     "__version__",
     "ParallelGzipReader",
     "GzipIndex",

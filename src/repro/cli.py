@@ -26,7 +26,7 @@ import sys
 import time
 
 from . import __version__
-from .errors import ReproError
+from .errors import ReproError, exit_code_for
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +74,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--no-verify", action="store_true", help="skip CRC-32/ISIZE verification"
+    )
+
+    robustness = parser.add_argument_group("robustness")
+    robustness.add_argument(
+        "--tolerate-corruption",
+        action="store_true",
+        help="keep reading through corrupted/truncated regions: skip the "
+        "damage, substitute '?' where history was destroyed, and print a "
+        "damage summary to stderr instead of failing",
+    )
+    robustness.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk soft deadline; a hung decode becomes a retryable "
+        "timeout (also arms the process pool's stall watchdog)",
+    )
+    robustness.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per chunk for the fetcher's escalation ladder "
+        "(default: 2)",
     )
 
     group = parser.add_argument_group("index")
@@ -182,7 +207,12 @@ def main(argv=None) -> int:
         return _dispatch(arguments)
     except ReproError as error:
         print(f"rapidgzip-py: error: {error}", file=sys.stderr)
-        return 1
+        cause = error.__cause__
+        if cause is not None and cause is not error:
+            print(f"rapidgzip-py: caused by: {cause}", file=sys.stderr)
+        # Distinct exit codes per failure class: format=4, integrity=5,
+        # worker-crash=6, recovery=7, other library errors=1.
+        return exit_code_for(error)
     except BrokenPipeError:
         return 141
 
@@ -247,6 +277,9 @@ def _dispatch(arguments) -> int:
         verify=not arguments.no_verify,
         index=index,
         backend=arguments.backend,
+        tolerate_corruption=arguments.tolerate_corruption,
+        max_retries=arguments.max_retries,
+        chunk_timeout=arguments.chunk_timeout,
         trace=bool(arguments.trace),
     )
     try:
@@ -290,6 +323,12 @@ def _dispatch(arguments) -> int:
 
 def _report_observability(arguments, reader, wall_time: float) -> None:
     """Emit --trace/--profile/--stats output after any reader action."""
+    if reader.damage_report.damaged:
+        print(
+            f"rapidgzip-py: damage tolerated:\n"
+            f"{reader.damage_report.summary()}",
+            file=sys.stderr,
+        )
     if arguments.trace:
         reader.save_trace(arguments.trace)
     show_profile = arguments.profile == "__report__" and not arguments.compress

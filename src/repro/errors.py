@@ -54,10 +54,61 @@ class WorkerCrashedError(ReproError):
 
     Raised from the task's future (and therefore from
     :meth:`GzipChunkFetcher.request`) when a process-backend worker is
-    killed — OOM, signal, or interpreter abort — so the failure surfaces
-    to the consumer instead of hanging the pipeline.
+    killed — OOM, signal, or interpreter abort — and the pool's bounded
+    requeue/respawn budget is exhausted, so the failure surfaces to the
+    consumer instead of hanging the pipeline.
     """
 
 
 class RecoveryError(ReproError):
     """Corrupted-file recovery could not locate any decodable region."""
+
+
+class ChunkDecodeError(ReproError):
+    """A chunk could not be produced after the full retry ladder.
+
+    Carries the failure context the retry ladder accumulated — which
+    chunk, where it starts, how many attempts were burned, and on which
+    backend — so callers (and the CLI error message) can say more than
+    "decode failed". The triggering error is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, chunk_id: int = None,
+                 start_bit: int = None, attempts: int = 1,
+                 backend: str = None):
+        super().__init__(message)
+        self.chunk_id = chunk_id
+        self.start_bit = start_bit
+        self.attempts = attempts
+        self.backend = backend
+
+
+#: CLI exit codes per failure class (0 = success, 1 = other library error).
+EXIT_FORMAT = 4
+EXIT_INTEGRITY = 5
+EXIT_WORKER_CRASH = 6
+EXIT_RECOVERY = 7
+
+
+def exit_code_for(error: BaseException) -> int:
+    """Map an exception to the CLI exit code for its failure class.
+
+    Walks the ``__cause__`` chain so a wrapping :class:`ChunkDecodeError`
+    reports the class of the error that actually broke the chunk.
+    """
+    seen = set()
+    cursor = error
+    while cursor is not None and id(cursor) not in seen:
+        seen.add(id(cursor))
+        if isinstance(cursor, RecoveryError):
+            return EXIT_RECOVERY
+        if isinstance(cursor, WorkerCrashedError):
+            return EXIT_WORKER_CRASH
+        if isinstance(cursor, IntegrityError):
+            return EXIT_INTEGRITY
+        if isinstance(cursor, FormatError):
+            return EXIT_FORMAT
+        cursor = cursor.__cause__
+    if isinstance(error, ChunkDecodeError):
+        return EXIT_FORMAT
+    return 1

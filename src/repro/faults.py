@@ -1,0 +1,260 @@
+"""Deterministic fault injection for the decode pipeline (chaos harness).
+
+Production means chunks fail, workers OOM, and files arrive truncated.
+This module makes those failures *reproducible on demand* so the retry
+ladder, the worker supervisor, and tolerant mode can be tested under a
+seed instead of waiting for the real thing:
+
+* **Input damage** — :func:`flip_bytes` and :func:`truncate` build
+  corrupted/truncated variants of a byte blob deterministically from a
+  seed, for feeding damaged files into the reader.
+* **Runtime faults** — a :class:`FaultInjector` holding
+  :class:`FaultSpec` rules is installed process-wide with
+  :func:`install` (or the :func:`injected` context manager). Hook points
+  in the fetcher, the chunk task bodies, and the pool workers call
+  :func:`fire`, which consults the active injector and may sleep
+  (``delay``/``stall``), raise (``raise``), or kill the current worker
+  process (``kill``).
+
+Determinism: whether a spec fires for a given ``(site, chunk_id,
+attempt)`` is decided by hashing those coordinates with the seed — never
+by shared RNG state — so the decision is identical regardless of thread
+or process interleaving. Exactly-once faults across *processes* (e.g.
+"kill one worker, then let the retry pass") use ``once_token``, a
+filesystem path claimed atomically by the first firing.
+
+The injector travels to worker processes inside each
+:class:`~repro.fetcher.tasks.ChunkTaskSpec` (and is inherited
+copy-on-write by forked workers), so chunk-level faults fire in the
+worker that actually decodes the chunk. ``kill`` in a *parent* process
+(thread backend) degrades to raising :class:`WorkerCrashedError` — the
+same signal, without taking down the caller.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass
+
+from .errors import FormatError, TruncatedError, UsageError, WorkerCrashedError
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedError",
+    "active",
+    "fire",
+    "flip_bytes",
+    "injected",
+    "install",
+    "truncate",
+    "uninstall",
+]
+
+#: Hook sites the pipeline currently exposes.
+SITES = (
+    "chunk.decode",  # chunk task body (worker thread or worker process)
+    "chunk.on_demand",  # serial in-process fallback decode
+    "worker.task",  # process-pool child, before executing any task
+)
+
+
+class InjectedError(RuntimeError):
+    """Default exception raised by ``kind="raise"`` faults."""
+
+
+# -- input damage ----------------------------------------------------------------
+
+
+def flip_bytes(data: bytes, *, seed: int, flips: int = 1, start: int = 0,
+               stop: int = None) -> bytes:
+    """Return ``data`` with ``flips`` bytes XOR-flipped in ``[start, stop)``.
+
+    Positions and flip masks come from ``random.Random(seed)``, so the
+    same seed always damages the same bytes — a failing chaos test
+    prints its seed and the run can be replayed exactly.
+    """
+    if stop is None:
+        stop = len(data)
+    if not 0 <= start < stop <= len(data):
+        raise UsageError(f"invalid corruption range [{start}, {stop})")
+    rng = random.Random(seed)
+    damaged = bytearray(data)
+    for _ in range(flips):
+        position = rng.randrange(start, stop)
+        damaged[position] ^= rng.randrange(1, 256)
+    return bytes(damaged)
+
+
+def truncate(data: bytes, *, keep: int = None, fraction: float = None) -> bytes:
+    """Cut ``data`` short: keep ``keep`` bytes, or ``fraction`` of them."""
+    if (keep is None) == (fraction is None):
+        raise UsageError("pass exactly one of keep= or fraction=")
+    if keep is None:
+        keep = int(len(data) * fraction)
+    if not 0 <= keep <= len(data):
+        raise UsageError(f"cannot keep {keep} of {len(data)} bytes")
+    return data[:keep]
+
+
+# -- runtime faults --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where, what, and how often.
+
+    ``site`` names a hook point from :data:`SITES`. ``kind`` is one of:
+
+    * ``"raise"`` — raise an exception (``error`` picks the class:
+      ``"injected"``/``"format"``/``"truncated"``/``"crash"``);
+    * ``"delay"`` — sleep ``delay_seconds`` then continue;
+    * ``"stall"`` — like delay, semantically "this task hung" (use with
+      a watchdog/timeout that should fire first);
+    * ``"kill"`` — ``os._exit(exit_code)`` the current worker process
+      (raises :class:`WorkerCrashedError` instead when running in the
+      parent process, i.e. on the thread backend).
+
+    ``chunk_ids``/``attempts`` restrict matching (``None`` = any).
+    ``probability`` < 1 gates firing on a deterministic hash of
+    ``(seed, site, chunk_id, attempt)``. ``once_token`` is a filesystem
+    path: the first firing claims it atomically and later matches are
+    skipped — exactly-once semantics even across worker processes.
+    """
+
+    site: str
+    kind: str
+    chunk_ids: tuple = None
+    attempts: tuple = (0,)
+    probability: float = 1.0
+    error: str = "injected"
+    delay_seconds: float = 0.05
+    exit_code: int = 9
+    once_token: str = None
+
+    def validate(self) -> "FaultSpec":
+        if self.site not in SITES:
+            raise UsageError(
+                f"unknown fault site {self.site!r}; choose from {SITES}"
+            )
+        if self.kind not in ("raise", "delay", "stall", "kill"):
+            raise UsageError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "raise" and self.error not in _ERROR_CLASSES:
+            raise UsageError(f"unknown fault error class {self.error!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise UsageError(f"probability out of range: {self.probability}")
+        return self
+
+
+_ERROR_CLASSES = {
+    "injected": InjectedError,
+    "format": FormatError,
+    "truncated": TruncatedError,
+    "crash": WorkerCrashedError,
+}
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """A seed plus a tuple of :class:`FaultSpec` rules. Picklable."""
+
+    seed: int
+    specs: tuple
+
+    def _matches(self, spec: FaultSpec, site: str, chunk_id, attempt) -> bool:
+        if spec.site != site:
+            return False
+        if spec.chunk_ids is not None and chunk_id not in spec.chunk_ids:
+            return False
+        if spec.attempts is not None and attempt not in spec.attempts:
+            return False
+        if spec.probability < 1.0:
+            key = f"{self.seed}:{site}:{chunk_id}:{attempt}".encode()
+            digest = hashlib.blake2s(key).digest()
+            if int.from_bytes(digest[:8], "big") / 2**64 >= spec.probability:
+                return False
+        return True
+
+    def fire(self, site: str, *, chunk_id=None, attempt: int = 0) -> None:
+        """Apply every matching spec at this hook point (may not return)."""
+        for spec in self.specs:
+            if not self._matches(spec, site, chunk_id, attempt):
+                continue
+            if spec.once_token is not None and not _claim_token(spec.once_token):
+                continue
+            context = (
+                f"injected fault at {site} (chunk={chunk_id}, "
+                f"attempt={attempt}, seed={self.seed})"
+            )
+            if spec.kind in ("delay", "stall"):
+                time.sleep(spec.delay_seconds)
+            elif spec.kind == "raise":
+                raise _ERROR_CLASSES[spec.error](context)
+            elif spec.kind == "kill":
+                if multiprocessing.parent_process() is None:
+                    # Parent process (thread backend): killing would take
+                    # down the caller — surface the same signal instead.
+                    raise WorkerCrashedError(context)
+                os._exit(spec.exit_code)
+            else:
+                raise UsageError(f"unknown fault kind {spec.kind!r}")
+
+
+def _claim_token(path: str) -> bool:
+    """Atomically claim a once-token file; True exactly once per path."""
+    try:
+        os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        return True
+    except FileExistsError:
+        return False
+
+
+# -- installation ----------------------------------------------------------------
+
+_ACTIVE: FaultInjector = None
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the process-wide active injector."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> FaultInjector:
+    """The installed injector, or ``None`` outside chaos runs."""
+    return _ACTIVE
+
+
+def fire(site: str, *, chunk_id=None, attempt: int = 0) -> None:
+    """Hook-point entry: no-op unless an injector is installed."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site, chunk_id=chunk_id, attempt=attempt)
+
+
+class injected:
+    """Context manager installing an injector for the enclosed block::
+
+        with faults.injected(seed=7, specs=[FaultSpec("chunk.decode", "kill")]):
+            decompress_parallel(path, parallelization=4, backend="processes")
+    """
+
+    def __init__(self, *, seed: int, specs) -> None:
+        self._injector = FaultInjector(
+            seed=seed, specs=tuple(spec.validate() for spec in specs)
+        )
+
+    def __enter__(self) -> FaultInjector:
+        install(self._injector)
+        return self._injector
+
+    def __exit__(self, *exc) -> None:
+        uninstall()

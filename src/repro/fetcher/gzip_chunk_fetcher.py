@@ -21,11 +21,22 @@ from __future__ import annotations
 
 import threading
 
+from .. import faults
 from ..cache import FetchNextAdaptive, LRUCache
-from ..errors import FormatError, UsageError
+from ..errors import (
+    ChunkDecodeError,
+    FormatError,
+    UsageError,
+    WorkerCrashedError,
+)
 from ..gz.bgzf import bgzf_block_offsets, is_bgzf
 from ..io import ensure_file_reader
-from ..pool import PRIORITY_PREFETCH, create_pool, resolve_backend
+from ..pool import (
+    PRIORITY_ON_DEMAND,
+    PRIORITY_PREFETCH,
+    create_pool,
+    resolve_backend,
+)
 from ..telemetry import Telemetry
 from .decode import (
     ChunkResult,
@@ -64,12 +75,18 @@ class GzipChunkFetcher:
         prefetch_cache_size: int = None,
         detect_bgzf: bool = True,
         backend: str = "auto",
+        max_retries: int = 2,
+        chunk_timeout: float = None,
         telemetry: Telemetry = None,
     ):
         if parallelization < 1:
             raise UsageError("parallelization must be at least 1")
         if chunk_size < 1024:
             raise UsageError("chunk_size must be at least 1 KiB")
+        if max_retries < 0:
+            raise UsageError("max_retries cannot be negative")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise UsageError("chunk_timeout must be positive (or None)")
         self.file_reader = ensure_file_reader(source)
         self.parallelization = parallelization
         self.chunk_size = chunk_size
@@ -110,9 +127,14 @@ class GzipChunkFetcher:
             self._recipe, self._recipe_token = make_reader_recipe(
                 self.file_reader, fork=fork
             )
+        self.max_retries = max_retries
+        self.chunk_timeout = chunk_timeout
         self.pool = create_pool(
-            self.backend, parallelization, telemetry=self.telemetry
+            self.backend, parallelization, telemetry=self.telemetry,
+            task_timeout=chunk_timeout,
         )
+        self._retired_pools: list = []  # shut-down pools kept for reaping
+        self._backend_failures = 0  # consecutive crash/timeout observations
         capacity = prefetch_cache_size or max(2 * parallelization, 2)
         self.prefetch_cache = LRUCache(capacity)
         self.access_cache = LRUCache(max(parallelization // 4, 1))
@@ -129,6 +151,12 @@ class GzipChunkFetcher:
         self._speculative_unusable = metrics.counter("fetcher.speculative_unusable")
         self._on_demand_decodes = metrics.counter("fetcher.on_demand_decodes")
         self._wait_inflight = metrics.counter("fetcher.wait_inflight")
+        self._speculative_rejects = metrics.counter("fetcher.speculative_rejects")
+        self._retries = metrics.counter("fetcher.retries")
+        self._chunk_timeouts = metrics.counter("fetcher.chunk_timeouts")
+        self._worker_crashes = metrics.counter("fetcher.worker_crashes")
+        self._task_errors = metrics.counter("fetcher.task_errors")
+        self._backend_downgrades = metrics.counter("fetcher.backend_downgrades")
         metrics.probe(
             "cache.prefetch", lambda: self.prefetch_cache.statistics.as_dict()
         )
@@ -200,11 +228,13 @@ class GzipChunkFetcher:
         members, end = self._bgzf_groups[chunk_id]
         return decode_bgzf_members(self.file_reader, members, end)
 
-    def _run_chunk_task(self, chunk_id: int, kind: str):
+    def _run_chunk_task(self, chunk_id: int, kind: str, attempt: int = 0):
         """Task body with a lifecycle span on the executing thread."""
         with self.telemetry.recorder.span(
-            "chunk.decode", chunk_id=chunk_id, mode=self.mode, kind=kind
+            "chunk.decode", chunk_id=chunk_id, mode=self.mode, kind=kind,
+            attempt=attempt,
         ):
+            faults.fire("chunk.decode", chunk_id=chunk_id, attempt=attempt)
             return self._task_for_id(chunk_id)
 
     def _index_bounds(self, chunk_id: int):
@@ -231,12 +261,20 @@ class GzipChunkFetcher:
             max_output=self.max_chunk_output,
         )
 
-    def _spec_for_id(self, chunk_id: int) -> ChunkTaskSpec:
-        """Picklable description of one chunk task, for the process pool."""
+    def _spec_for_id(self, chunk_id: int, attempt: int = 0,
+                     exact=None) -> ChunkTaskSpec:
+        """Picklable description of one chunk task, for the process pool.
+
+        ``exact`` (search mode only) is ``(start_bit, window)``: instead
+        of searching, the worker decodes exactly from that offset — the
+        retry ladder's pool-resubmission rung.
+        """
         spec = ChunkTaskSpec(
             recipe=self._recipe,
             mode=self.mode,
             chunk_id=chunk_id,
+            attempt=attempt,
+            faults=faults.active(),
             trace=self.telemetry.tracing,
             trace_origin=self.telemetry.recorder.origin,
         )
@@ -244,6 +282,10 @@ class GzipChunkFetcher:
             spec.chunk_size = self.chunk_size
             spec.find_uncompressed = self.find_uncompressed
             spec.max_output = self.max_chunk_output
+            if exact is not None:
+                spec.exact = True
+                spec.start_bit, spec.window = exact
+                spec.end_bit = (chunk_id + 1) * self.chunk_size * 8
         elif self.mode == "index":
             point, end_bit, expected, is_last = self._index_bounds(chunk_id)
             spec.start_bit = point.compressed_bit_offset
@@ -283,14 +325,46 @@ class GzipChunkFetcher:
                 for chunk_id, future in self._futures.items()
                 if future.done()
             ]
+            recorder = self.telemetry.recorder
             for chunk_id, future in finished:
                 del self._futures[chunk_id]
+                crashed = False
                 try:
                     result = self._absorb(future.result())
-                except FormatError:
+                except FormatError as error:
+                    # Thread-backend speculative reject (process workers
+                    # fold theirs child-side): counted + traced, with the
+                    # chunk context that used to be dropped.
+                    self._speculative_rejects.increment()
+                    if recorder.enabled:
+                        recorder.instant(
+                            "chunk.speculative_reject", chunk_id=chunk_id,
+                            error=repr(error),
+                        )
+                    result = None
+                except WorkerCrashedError as error:
+                    self._worker_crashes.increment()
+                    if recorder.enabled:
+                        recorder.instant(
+                            "chunk.worker_crash", chunk_id=chunk_id,
+                            error=repr(error),
+                        )
+                    self._note_backend_failure("crash")
+                    result = None
+                    crashed = True
+                except Exception as error:  # contain: speculation is optional
+                    self._task_errors.increment()
+                    if recorder.enabled:
+                        recorder.instant(
+                            "chunk.task_error", chunk_id=chunk_id,
+                            error=repr(error),
+                        )
                     result = None
                 if result is None:
-                    self._no_candidate.add(chunk_id)
+                    if not crashed:
+                        # A crash says nothing about decodability — leave
+                        # the chunk eligible for resubmission/on-demand.
+                        self._no_candidate.add(chunk_id)
                     self._speculative_unusable.increment()
                     continue
                 self.prefetch_cache.insert(result.start_bit, result)
@@ -299,7 +373,8 @@ class GzipChunkFetcher:
     def _submit(self, chunk_id: int) -> None:
         with self._lock:
             if (
-                chunk_id in self._futures
+                self.backend == "serial"
+                or chunk_id in self._futures
                 or chunk_id in self._no_candidate
                 or chunk_id < 0
                 or chunk_id >= self.num_chunk_ids
@@ -361,24 +436,137 @@ class GzipChunkFetcher:
                 with self.telemetry.recorder.span(
                     "chunk.wait_inflight", chunk_id=chunk_id
                 ):
-                    future.result()
+                    try:
+                        future.result(timeout=self.chunk_timeout)
+                    except TimeoutError:
+                        self._chunk_timeouts.increment()
+                        self._note_backend_failure("timeout")
+                    except Exception:
+                        pass  # classified (and counted) by _harvest below
                 self._harvest()
                 result = self.prefetch_cache.get(start_bit)
                 if result is not None:
                     self.access_cache.insert(start_bit, result)
         if result is None:
-            result = self._decode_on_demand(start_bit, chunk_id, window)
+            result = self._produce_chunk(start_bit, chunk_id, window)
             self.access_cache.insert(start_bit, result)
             self._id_of_key[start_bit] = chunk_id
         self._trigger_prefetch(chunk_id)
         return result
 
-    def _decode_on_demand(self, start_bit: int, chunk_id: int, window: bytes):
+    # -- retry ladder ----------------------------------------------------------------
+
+    def _produce_chunk(self, start_bit: int, chunk_id: int, window: bytes):
+        """Produce a chunk no cache or in-flight task delivered.
+
+        Escalation ladder: bounded resubmissions to the worker pool (an
+        *exact* decode from the last verified offset, at on-demand
+        priority — process backend only, where a fresh worker can succeed
+        after a crash/stall), then a serial in-process decode, then a
+        structured :class:`ChunkDecodeError` carrying the full context.
+        """
+        recorder = self.telemetry.recorder
+        attempt = 0
+        while self.backend == "processes" and attempt < self.max_retries:
+            attempt += 1
+            self._retries.increment()
+            if recorder.enabled:
+                recorder.instant(
+                    "chunk.retry", chunk_id=chunk_id, attempt=attempt,
+                    rung="pool",
+                )
+            try:
+                future = self.pool.submit(
+                    execute_chunk_task,
+                    self._spec_for_id(
+                        chunk_id, attempt=attempt, exact=(start_bit, window)
+                    ),
+                    priority=PRIORITY_ON_DEMAND,
+                )
+                result = self._absorb(future.result(timeout=self.chunk_timeout))
+            except TimeoutError:
+                self._chunk_timeouts.increment()
+                self._note_backend_failure("timeout")
+                continue
+            except WorkerCrashedError:
+                self._worker_crashes.increment()
+                self._note_backend_failure("crash")
+                continue
+            except UsageError:
+                break  # pool shut down / spec not shippable: go serial
+            if result is not None:
+                return result
+            break  # deterministic decode failure: reproduce it serially
+        # Final rung: serial, in-process, from the last verified offset.
+        attempt += 1
+        try:
+            return self._decode_on_demand(
+                start_bit, chunk_id, window, attempt=attempt
+            )
+        except UsageError:
+            raise  # caller bug, not a decode failure — report it as-is
+        except Exception as error:
+            raise ChunkDecodeError(
+                f"chunk {chunk_id} failed to decode at bit offset "
+                f"{start_bit} after {attempt} attempt(s) on the "
+                f"{self.backend!r} backend: {error}",
+                chunk_id=chunk_id,
+                start_bit=start_bit,
+                attempts=attempt,
+                backend=self.backend,
+            ) from error
+
+    def _note_backend_failure(self, reason: str) -> None:
+        """Record a crash/timeout; downgrade the backend when they pile up."""
+        with self._lock:
+            self._backend_failures += 1
+            degraded = getattr(self.pool, "degraded", False)
+            if self._backend_failures < 3 and not degraded:
+                return
+        self._downgrade_backend(reason)
+
+    def _downgrade_backend(self, reason: str) -> None:
+        """Step down processes → threads → serial after repeated failures.
+
+        The old pool is retired asynchronously (reaped in :meth:`close`);
+        its in-flight futures stay in ``self._futures`` and are harvested
+        or classified like any others.
+        """
+        with self._lock:
+            if self.backend == "processes":
+                target = "threads"
+            elif self.backend == "threads":
+                target = "serial"
+            else:
+                return
+            previous = self.backend
+            self._backend_downgrades.increment()
+            recorder = self.telemetry.recorder
+            if recorder.enabled:
+                recorder.instant(
+                    "fetcher.backend_downgrade", previous=previous,
+                    target=target, reason=reason,
+                )
+            if target == "threads":
+                self._retired_pools.append(self.pool)
+                self.pool.shutdown(wait=False)
+                self.pool = create_pool(
+                    "threads", self.parallelization, telemetry=self.telemetry
+                )
+            # target == "serial": keep the thread pool object (its
+            # statistics stay readable); _submit stops feeding it.
+            self.backend = target
+            self._backend_failures = 0
+
+    def _decode_on_demand(self, start_bit: int, chunk_id: int, window: bytes,
+                          attempt: int = 0):
         self._on_demand_decodes.increment()
+        faults.fire("chunk.on_demand", chunk_id=chunk_id, attempt=attempt)
         if self.mode == "search":
             stop_bit = (chunk_id + 1) * self.chunk_size * 8
             with self.telemetry.recorder.span(
-                "chunk.decode", chunk_id=chunk_id, mode=self.mode, kind="on_demand"
+                "chunk.decode", chunk_id=chunk_id, mode=self.mode,
+                kind="on_demand", attempt=attempt,
             ):
                 return decode_chunk_range(
                     self.file_reader,
@@ -387,7 +575,7 @@ class GzipChunkFetcher:
                     window,
                     max_output=self.max_chunk_output,
                 )
-        return self._run_chunk_task(chunk_id, "on_demand")
+        return self._run_chunk_task(chunk_id, "on_demand", attempt=attempt)
 
     # -- statistics ----------------------------------------------------------------
 
@@ -413,11 +601,20 @@ class GzipChunkFetcher:
             "speculative_submitted": self.speculative_submitted,
             "speculative_unusable": self.speculative_unusable,
             "on_demand_decodes": self.on_demand_decodes,
+            "speculative_rejects": self._speculative_rejects.value,
+            "retries": self._retries.value,
+            "chunk_timeouts": self._chunk_timeouts.value,
+            "worker_crashes": self._worker_crashes.value,
+            "task_errors": self._task_errors.value,
+            "backend_downgrades": self._backend_downgrades.value,
             "pool": self.pool.statistics(),
         }
 
     def close(self) -> None:
         self.pool.shutdown(wait=True)
+        for pool in self._retired_pools:
+            pool.shutdown(wait=True)
+        self._retired_pools.clear()
         if self._recipe_token is not None:
             release_inherited_source(self._recipe_token)
             self._recipe_token = None

@@ -30,12 +30,14 @@ import itertools
 import multiprocessing
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..errors import FormatError, UsageError
 from ..io import FileReader, MemoryFileReader, StandardFileReader
 from ..telemetry import Telemetry
 from .decode import (
     ChunkResult,
     decode_bgzf_members,
+    decode_chunk_range,
     decode_index_chunk,
     speculative_decode,
 )
@@ -146,6 +148,14 @@ class ChunkTaskSpec:
     # bgzf mode
     member_offsets: tuple = ()
     end_offset: int = 0
+    # retry-ladder context: exact=True decodes [start_bit, end_bit) from
+    # the given window instead of searching (the on-demand body, shipped
+    # to a worker as the ladder's pool-resubmission rung)
+    exact: bool = False
+    attempt: int = 0
+    # active FaultInjector (or None) — travels with the task so chunk
+    # faults fire in whichever process actually decodes the chunk
+    faults: object = None
     # telemetry plumbing
     trace: bool = False
     trace_origin: float = None
@@ -178,14 +188,27 @@ def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
     recorder = telemetry.recorder
     if recorder.enabled:
         recorder.set_thread_name(multiprocessing.current_process().name)
+    faults.install(spec.faults)  # None outside chaos runs
     reader = resolve_reader_recipe(spec.recipe)
     try:
         with recorder.span(
             "chunk.decode", chunk_id=spec.chunk_id, mode=spec.mode,
-            kind="speculative",
+            kind="retry" if spec.exact else "speculative",
+            attempt=spec.attempt,
         ):
+            faults.fire(
+                "chunk.decode", chunk_id=spec.chunk_id, attempt=spec.attempt
+            )
             result = _decode_for_spec(spec, reader, telemetry)
-    except FormatError:
+    except FormatError as error:
+        # Expected for speculative candidates; no longer silent — the
+        # rejection is counted and traced with its chunk context.
+        telemetry.metrics.counter("fetcher.speculative_rejects").increment()
+        if recorder.enabled:
+            recorder.instant(
+                "chunk.speculative_reject", chunk_id=spec.chunk_id,
+                attempt=spec.attempt, error=repr(error),
+            )
         result = None
     return RemoteChunkOutcome(
         result=result,
@@ -196,6 +219,14 @@ def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
 
 def _decode_for_spec(spec: ChunkTaskSpec, reader, telemetry) -> ChunkResult:
     if spec.mode == "search":
+        if spec.exact:
+            return decode_chunk_range(
+                reader,
+                spec.start_bit,
+                spec.end_bit,
+                spec.window,
+                max_output=spec.max_output,
+            )
         return speculative_decode(
             reader,
             spec.chunk_id,

@@ -117,6 +117,7 @@ class MemoryFileReader(FileReader):
         return len(self._data)
 
     def pread(self, offset: int, size: int) -> bytes:
+        self._check_open()
         if offset >= len(self._data) or size <= 0:
             return b""
         return self._data[offset : offset + size]
@@ -152,6 +153,9 @@ class StandardFileReader(FileReader):
         return self._size
 
     def pread(self, offset: int, size: int) -> bytes:
+        # Guard before touching the descriptor: a closed fd would surface
+        # as a raw OSError (or worse, read a recycled fd number).
+        self._check_open()
         if size <= 0 or offset >= self._size:
             return b""
         pieces = []
@@ -201,6 +205,7 @@ class PythonFileReader(FileReader):
         return self._size
 
     def pread(self, offset: int, size: int) -> bytes:
+        self._check_open()
         if size <= 0 or offset >= self._size:
             return b""
         with self._lock:

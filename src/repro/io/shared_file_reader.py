@@ -42,11 +42,15 @@ class SharedFileReader(FileReader):
         return self._shared.base.size()
 
     def pread(self, offset: int, size: int) -> bytes:
+        self._check_open()
         data = self._shared.base.pread(offset, size)
         self._shared.record(len(data))
         return data
 
     def clone(self) -> "SharedFileReader":
+        # A clone of a closed reader would resurrect the refcount after
+        # the base may already have been released — refuse cleanly.
+        self._check_open()
         return SharedFileReader(None, _shared=self._shared)
 
     def close(self) -> None:

@@ -52,8 +52,14 @@ def resolve_backend(backend: str, *, mode: str, parallelization: int) -> str:
     return "processes"
 
 
-def create_pool(backend: str, size: int, *, telemetry=None, context=None):
-    """Instantiate the pool for a *concrete* backend name."""
+def create_pool(backend: str, size: int, *, telemetry=None, context=None,
+                task_timeout: float = None):
+    """Instantiate the pool for a *concrete* backend name.
+
+    ``task_timeout`` arms the process pool's stall watchdog; the thread
+    backend has no safe way to interrupt a running thread, so the
+    timeout is enforced by the fetcher's bounded waits instead.
+    """
     if backend == "threads":
         from .thread_pool import ThreadPool
 
@@ -61,7 +67,10 @@ def create_pool(backend: str, size: int, *, telemetry=None, context=None):
     if backend == "processes":
         from .process_pool import ProcessPool
 
-        return ProcessPool(size, telemetry=telemetry, context=context)
+        return ProcessPool(
+            size, telemetry=telemetry, context=context,
+            task_timeout=task_timeout,
+        )
     raise UsageError(
         f"cannot create a pool for backend {backend!r}; resolve 'auto' with "
         f"resolve_backend() first"

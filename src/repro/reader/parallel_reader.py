@@ -22,7 +22,13 @@ import time
 
 from ..blockfinder.pugz import PUGZ_MAX_BYTE, PUGZ_MIN_BYTE
 from ..cache import LRUCache
-from ..errors import FormatError, IntegrityError, UsageError
+from ..errors import (
+    ChunkDecodeError,
+    FormatError,
+    IntegrityError,
+    TruncatedError,
+    UsageError,
+)
 from ..fetcher import (
     BlockMap,
     ChunkRecord,
@@ -55,6 +61,9 @@ class ParallelGzipReader:
         detect_bgzf: bool = True,
         seek_point_spacing: int = None,
         backend: str = "auto",
+        tolerate_corruption: bool = False,
+        max_retries: int = 2,
+        chunk_timeout: float = None,
         trace: bool = False,
         telemetry: Telemetry = None,
     ):
@@ -73,6 +82,18 @@ class ParallelGzipReader:
         GIL-bound two-stage search path is active on a multi-core machine
         and threads for the zlib-delegation paths (loaded index, BGZF).
 
+        ``tolerate_corruption=True`` turns mid-file corruption, truncation,
+        and checksum mismatches from exceptions into *accounted damage*:
+        the reader skips the broken stretch, resynchronises at the next
+        decodable Deflate block (``repro.recovery``), substitutes a
+        placeholder byte where history was destroyed, and records every
+        incident in :attr:`damage_report`. Reads never silently launder
+        damage — check ``reader.damage_report.damaged`` afterwards.
+
+        ``max_retries`` bounds the fetcher's per-chunk retry ladder and
+        ``chunk_timeout`` (seconds) turns a hung chunk decode into a
+        retryable timeout (also arming the process pool's watchdog).
+
         ``trace=True`` records chunk-lifecycle spans for the whole pipeline
         (reader, fetcher, pool workers, block finders); export them with
         :meth:`save_trace`. Metrics are collected either way. Pass an
@@ -82,6 +103,11 @@ class ParallelGzipReader:
         self._file_reader = ensure_file_reader(source)
         self._verify = verify
         self._pugz_compatible = pugz_compatible
+        self._tolerate = tolerate_corruption
+        from ..recovery import DamageReport
+
+        self._damage = DamageReport()
+        self._damaged_data: dict = {}  # start_bit -> pinned tolerant bytes
         self._seek_point_spacing = seek_point_spacing or 2 * chunk_size
         self._position = 0
         self._closed = False
@@ -93,17 +119,30 @@ class ParallelGzipReader:
         if index is not None and not index.finalized:
             raise UsageError("only finalized indexes can be imported")
 
-        self._fetcher = GzipChunkFetcher(
-            self._file_reader,
-            parallelization=parallelization,
-            chunk_size=chunk_size,
-            strategy=strategy,
-            max_chunk_output=max_chunk_output,
-            index=index,
-            detect_bgzf=detect_bgzf,
-            backend=backend,
-            telemetry=self.telemetry,
-        )
+        def build_fetcher(allow_bgzf: bool) -> GzipChunkFetcher:
+            return GzipChunkFetcher(
+                self._file_reader,
+                parallelization=parallelization,
+                chunk_size=chunk_size,
+                strategy=strategy,
+                max_chunk_output=max_chunk_output,
+                index=index,
+                detect_bgzf=allow_bgzf,
+                backend=backend,
+                max_retries=max_retries,
+                chunk_timeout=chunk_timeout,
+                telemetry=self.telemetry,
+            )
+
+        try:
+            self._fetcher = build_fetcher(detect_bgzf)
+        except FormatError:
+            if not tolerate_corruption or not detect_bgzf:
+                raise
+            # A truncated/damaged BGZF chain breaks mode detection before
+            # any chunk is decoded. Fall back to the search-mode fetcher,
+            # whose block finder and resync machinery handle damage.
+            self._fetcher = build_fetcher(False)
 
         self._block_map = BlockMap()
         self._materialized = LRUCache(max(4, parallelization // 2))
@@ -114,6 +153,13 @@ class ParallelGzipReader:
         self._verified_up_to = 0
         self._verify_active = verify
 
+        try:
+            self._init_chunk_chain(index)
+        except Exception:
+            self._fetcher.close()  # don't leak the worker pool
+            raise
+
+    def _init_chunk_chain(self, index) -> None:
         initial = self._fetcher.initial_chunk()
         if index is not None:
             self._index = index
@@ -127,9 +173,16 @@ class ParallelGzipReader:
                 self._frontier = initial
         else:
             if initial is None:
-                header_reader = BitReader(self._file_reader)
-                parse_gzip_header(header_reader)
-                initial = (header_reader.tell(), b"", True)
+                try:
+                    header_reader = BitReader(self._file_reader)
+                    parse_gzip_header(header_reader)
+                    initial = (header_reader.tell(), b"", True)
+                except FormatError:
+                    if not self._tolerate:
+                        raise
+                    # Damaged leading header: start the chain at bit 0 and
+                    # let the first frontier decode fail into resync.
+                    initial = (0, b"", True)
             self._frontier = initial
             self._index = GzipIndex()
             self._index.add(
@@ -157,7 +210,148 @@ class ParallelGzipReader:
                 )
             )
 
-    def _decode_next_chunk(self) -> ChunkRecord:
+    def _decode_next_chunk(self):
+        """Advance the chain by one chunk; tolerant mode absorbs failures."""
+        if not self._tolerate:
+            return self._decode_frontier_chunk()
+        try:
+            return self._decode_frontier_chunk()
+        except (ChunkDecodeError, FormatError) as error:
+            return self._absorb_damage(error)
+
+    def _absorb_damage(self, error) -> ChunkRecord:
+        """Tolerant mode: skip a broken stretch and resynchronise.
+
+        The block finder locates the next decodable Deflate block after
+        the failed frontier; everything from there to the next
+        inconsistency (usually end of file) is decoded serially with
+        placeholder bytes where the destroyed 32 KiB window was
+        referenced, appended as one chunk record, and logged in the
+        damage report. Returns ``None`` when nothing decodable remains.
+        """
+        from ..recovery import DamagedRegion, resync_after_damage
+
+        start_bit, _window, _is_stream_start = self._frontier
+        cause = getattr(error, "__cause__", None)
+        kind = (
+            "truncated"
+            if isinstance(error, TruncatedError)
+            or isinstance(cause, TruncatedError)
+            else "corrupt"
+        )
+        output_start = self._block_map.known_size
+        self._verify_active = False  # checksums are meaningless past damage
+        if self._fetcher.mode == "bgzf":
+            return self._absorb_bgzf_damage(start_bit, kind, error)
+        with self.telemetry.recorder.span(
+            "reader.resync", start_bit=start_bit
+        ):
+            segment = resync_after_damage(
+                self._file_reader, start_bit + 1,
+                placeholder=self._damage.placeholder,
+            )
+        recorder = self.telemetry.recorder
+        if segment is None:
+            # The rest of the file is lost: account for it and stop.
+            self._damage.regions.append(
+                DamagedRegion(
+                    kind=kind,
+                    start_bit=start_bit,
+                    resume_bit=None,
+                    output_offset=output_start,
+                    skipped_bits=self._file_reader.size() * 8 - start_bit,
+                    detail=str(error),
+                )
+            )
+            if recorder.enabled:
+                recorder.instant(
+                    "reader.damage", kind=kind, start_bit=start_bit,
+                    resumed=False,
+                )
+            self._frontier = None
+            if not self._index.finalized:
+                self._index.finalize(
+                    output_start, self._file_reader.size() * 8
+                )
+            return None
+        self._damage.regions.append(
+            DamagedRegion(
+                kind=kind,
+                start_bit=start_bit,
+                resume_bit=segment.start_bit,
+                output_offset=output_start,
+                skipped_bits=segment.start_bit - start_bit,
+                recovered_bytes=len(segment.data),
+                unresolved_markers=segment.unresolved,
+                detail=str(error),
+            )
+        )
+        if recorder.enabled:
+            recorder.instant(
+                "reader.damage", kind=kind, start_bit=start_bit,
+                resume_bit=segment.start_bit,
+                unresolved=segment.unresolved,
+            )
+        record = ChunkRecord(
+            start_bit=start_bit,
+            output_start=output_start,
+            output_end=output_start + len(segment.data),
+            end_bit=segment.end_bit,
+            window=b"",
+            is_stream_start=False,
+        )
+        self._block_map.append(record)
+        # Pin the recovered bytes: they cannot be re-materialized through
+        # the fetcher (its decode would fail at this offset again).
+        self._damaged_data[start_bit] = segment.data
+        self._materialized.insert(start_bit, segment.data)
+        end_bits = self._file_reader.size() * 8
+        if segment.end_bit >= end_bits - 16:
+            # Within footer padding of EOF: the file is fully consumed.
+            self._frontier = None
+            if not self._index.finalized:
+                self._index.finalize(record.output_end, end_bits)
+        else:
+            # Resume the chain where consistent decoding stopped; the
+            # window may itself contain placeholders — tolerated.
+            from ..deflate import MAX_WINDOW_SIZE
+
+            self._frontier = (
+                segment.end_bit,
+                segment.data[-MAX_WINDOW_SIZE:],
+                False,
+            )
+        return record
+
+    def _absorb_bgzf_damage(self, start_bit: int, kind: str, error):
+        """BGZF tolerant path: members are independent, so resynchronise
+        at the next known member-group boundary instead of block-finding
+        (the damaged group's output is lost, not placeholder-filled)."""
+        from ..recovery import DamagedRegion
+
+        boundaries = sorted(self._fetcher._key_to_id)
+        next_key = next((key for key in boundaries if key > start_bit), None)
+        output_start = self._block_map.known_size
+        end_bits = self._file_reader.size() * 8
+        self._damage.regions.append(
+            DamagedRegion(
+                kind=kind,
+                start_bit=start_bit,
+                resume_bit=next_key,
+                output_offset=output_start,
+                skipped_bits=(next_key or end_bits) - start_bit,
+                detail=str(error),
+            )
+        )
+        if next_key is None:
+            self._frontier = None
+            if not self._index.finalized:
+                self._index.finalize(output_start, end_bits)
+        else:
+            self._frontier = (next_key, b"", True)
+        return None
+
+    def _decode_frontier_chunk(self) -> ChunkRecord:
         """Decode the chunk at the frontier and extend the chain."""
         start_bit, window, is_stream_start = self._frontier
         with self.telemetry.recorder.span(
@@ -276,21 +470,25 @@ class ParallelGzipReader:
             return
         cursor = 0
         for event in events:
+            if not self._verify_active:
+                return  # a tolerated mismatch stood verification down
             if event.kind == "footer":
                 piece = data[cursor : event.local_offset]
                 self._running_crc = fast_crc32(piece, self._running_crc)
                 self._running_length += len(piece)
                 cursor = event.local_offset
                 if self._running_crc != event.crc32:
-                    raise IntegrityError(
+                    self._integrity_failure(
+                        record,
                         f"CRC-32 mismatch at output offset "
                         f"{record.output_start + event.local_offset}: stored "
-                        f"{event.crc32:#010x}, computed {self._running_crc:#010x}"
+                        f"{event.crc32:#010x}, computed {self._running_crc:#010x}",
                     )
-                if self._running_length & 0xFFFFFFFF != event.isize:
-                    raise IntegrityError(
+                elif self._running_length & 0xFFFFFFFF != event.isize:
+                    self._integrity_failure(
+                        record,
                         f"ISIZE mismatch: stored {event.isize}, actual "
-                        f"{self._running_length & 0xFFFFFFFF}"
+                        f"{self._running_length & 0xFFFFFFFF}",
                     )
                 self._running_crc = 0
                 self._running_length = 0
@@ -299,6 +497,30 @@ class ParallelGzipReader:
         self._running_length += len(piece)
         self._verified_up_to = record.output_end
 
+    def _integrity_failure(self, record: ChunkRecord, message: str) -> None:
+        """Raise on a checksum mismatch — or, in tolerant mode, log it as
+        damage (the data itself stays available) and stand down."""
+        if not self._tolerate:
+            raise IntegrityError(message)
+        from ..recovery import DamagedRegion
+
+        self._damage.regions.append(
+            DamagedRegion(
+                kind="integrity",
+                start_bit=record.start_bit,
+                resume_bit=record.end_bit,
+                output_offset=record.output_start,
+                detail=message,
+            )
+        )
+        recorder = self.telemetry.recorder
+        if recorder.enabled:
+            recorder.instant(
+                "reader.damage", kind="integrity",
+                start_bit=record.start_bit,
+            )
+        self._verify_active = False
+
     def _ensure_decoded_to(self, offset: int) -> None:
         while self._frontier is not None and self._block_map.known_size <= offset:
             self._decode_next_chunk()
@@ -306,7 +528,23 @@ class ParallelGzipReader:
     def _chunk_bytes(self, record: ChunkRecord) -> bytes:
         data = self._materialized.get(record.start_bit)
         if data is None:
-            result = self._fetcher.request(record.start_bit, record.window)
+            # Tolerant resync segments are pinned: the fetcher cannot
+            # re-materialize them (its decode fails at that offset).
+            data = self._damaged_data.get(record.start_bit)
+            if data is not None:
+                self._materialized.insert(record.start_bit, data)
+                return data
+        if data is None:
+            try:
+                result = self._fetcher.request(record.start_bit, record.window)
+            except ChunkDecodeError as error:
+                if not self._tolerate:
+                    raise
+                # Prebuilt-index path: the chunk's extent is known, so a
+                # damaged chunk becomes pure placeholder bytes.
+                data = self._record_index_damage(record, error)
+                self._materialized.insert(record.start_bit, data)
+                return data
             data = self._materialize_result(result, record.window)
             self._materialized.insert(record.start_bit, data)
             # In index mode chunks materialize here, not via the chain walk;
@@ -314,6 +552,35 @@ class ParallelGzipReader:
             # silently stands down on the first out-of-order access.
             self._verify_sequential(record, data, result.events)
         return data
+
+    def _record_index_damage(self, record: ChunkRecord, error) -> bytes:
+        from ..recovery import DamagedRegion
+
+        cause = getattr(error, "__cause__", None)
+        kind = "truncated" if isinstance(cause, TruncatedError) else "corrupt"
+        placeholder = bytes([self._damage.placeholder]) * record.length
+        self._damage.regions.append(
+            DamagedRegion(
+                kind=kind,
+                start_bit=record.start_bit,
+                resume_bit=record.end_bit,
+                output_offset=record.output_start,
+                skipped_bits=(record.end_bit or record.start_bit)
+                - record.start_bit,
+                recovered_bytes=0,
+                unresolved_markers=record.length,
+                detail=str(error),
+            )
+        )
+        recorder = self.telemetry.recorder
+        if recorder.enabled:
+            recorder.instant(
+                "reader.damage", kind=kind, start_bit=record.start_bit,
+                lost_bytes=record.length,
+            )
+        self._verify_active = False
+        self._damaged_data[record.start_bit] = placeholder
+        return placeholder
 
     # -- file-like API ------------------------------------------------------------
 
@@ -454,6 +721,12 @@ class ParallelGzipReader:
         """The (possibly still growing) seek-point index."""
         return self._index
 
+    @property
+    def damage_report(self):
+        """Damage accounted so far (empty outside tolerant mode); a
+        :class:`~repro.recovery.DamageReport`."""
+        return self._damage
+
     def export_index(self, target) -> GzipIndex:
         """Complete the initial pass if needed, then save the index."""
         with self._lock:
@@ -468,6 +741,7 @@ class ParallelGzipReader:
         stats["chunks_decoded"] = len(self._block_map)
         stats["known_size"] = self._block_map.known_size
         stats["read_calls"] = self._read_calls.value
+        stats["damaged_regions"] = len(self._damage.regions)
         stats["metrics"] = self.telemetry.metrics.as_dict()
         return stats
 

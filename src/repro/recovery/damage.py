@@ -1,0 +1,149 @@
+"""Damage accounting and mid-stream resynchronisation for tolerant mode.
+
+:class:`~repro.reader.ParallelGzipReader` with ``tolerate_corruption=True``
+keeps reading *through* corrupted or truncated regions instead of raising:
+the damaged stretch is skipped, decoding resynchronises at the next
+decodable Deflate block (found with the same
+:class:`~repro.blockfinder.CombinedBlockFinder` the recovery CLI uses —
+paper §1.3), and bytes whose back-references pointed into the destroyed
+window come out as a placeholder. This module supplies the two halves of
+that story:
+
+* :func:`resync_after_damage` — locate and decode the next consistent
+  segment after a failure point;
+* :class:`DamagedRegion` / :class:`DamageReport` — the structured record
+  of everything that was skipped, substituted, or left unverified, so a
+  tolerant read never silently launders damage into clean-looking output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..blockfinder import CombinedBlockFinder
+from ..errors import FormatError
+from .recover import _decode_segment
+
+__all__ = [
+    "DEFAULT_PLACEHOLDER",
+    "DamageReport",
+    "DamagedRegion",
+    "ResyncSegment",
+    "resync_after_damage",
+]
+
+#: Byte substituted for output that depended on destroyed history ("?").
+DEFAULT_PLACEHOLDER = 0x3F
+
+
+@dataclass
+class DamagedRegion:
+    """One contiguous stretch of input the reader could not decode normally.
+
+    ``kind`` is ``"corrupt"`` (structure broken mid-stream),
+    ``"truncated"`` (input ended early), or ``"integrity"`` (structure
+    decoded but a CRC-32/ISIZE trailer did not match). ``resume_bit`` is
+    where decoding picked up again, ``None`` when nothing decodable
+    remained. ``output_offset`` locates the damage in the decompressed
+    byte stream.
+    """
+
+    kind: str
+    start_bit: int
+    resume_bit: int = None
+    output_offset: int = 0
+    skipped_bits: int = 0
+    recovered_bytes: int = 0
+    unresolved_markers: int = 0
+    detail: str = ""
+
+
+@dataclass
+class DamageReport:
+    """Everything a tolerant read skipped, substituted, or left unverified."""
+
+    regions: list = field(default_factory=list)
+    placeholder: int = DEFAULT_PLACEHOLDER
+
+    @property
+    def damaged(self) -> bool:
+        return bool(self.regions)
+
+    @property
+    def skipped_compressed_bytes(self) -> int:
+        return sum(region.skipped_bits for region in self.regions) // 8
+
+    @property
+    def unresolved_markers(self) -> int:
+        return sum(region.unresolved_markers for region in self.regions)
+
+    def summary(self) -> str:
+        """Human-readable multi-line account (the CLI prints this)."""
+        if not self.regions:
+            return "no damage detected"
+        lines = [
+            f"{len(self.regions)} damaged region(s); "
+            f"~{self.skipped_compressed_bytes} compressed byte(s) skipped; "
+            f"{self.unresolved_markers} byte(s) replaced by "
+            f"{chr(self.placeholder)!r}"
+        ]
+        for region in self.regions:
+            if region.kind == "integrity":
+                resume = "data kept, verification stood down"
+            elif region.resume_bit is not None:
+                resume = f"resumed at bit {region.resume_bit}"
+            else:
+                resume = "nothing decodable after it"
+            lines.append(
+                f"  [{region.kind}] at compressed bit {region.start_bit} "
+                f"(output offset {region.output_offset}): {resume}"
+                + (f" — {region.detail}" if region.detail else "")
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ResyncSegment:
+    """The first consistent stretch decodable after a damage point."""
+
+    start_bit: int  # where the block finder re-anchored decoding
+    data: bytes  # decoded bytes, placeholders where history was lost
+    unresolved: int  # how many of those bytes are placeholders
+    end_bit: int  # where consistent decoding stopped (EOF or new damage)
+
+
+def resync_after_damage(file_reader, from_bit: int, *,
+                        placeholder: int = DEFAULT_PLACEHOLDER,
+                        max_probes: int = 4096):
+    """Find and decode the next consistent segment at/after ``from_bit``.
+
+    Probes block-finder candidates in order, discarding false positives
+    that decode to nothing, and returns the first :class:`ResyncSegment`
+    with actual output — or ``None`` when the rest of the file holds no
+    decodable Deflate block (``max_probes`` bounds the candidate scan so
+    a pathological tail cannot stall a tolerant read).
+
+    The segment always satisfies ``end_bit > from_bit``, so repeated
+    resynchronisation makes monotonic progress through the file.
+    """
+    size_bits = file_reader.size() * 8
+    finder = CombinedBlockFinder(file_reader.clone())
+    position = from_bit
+    for _ in range(max_probes):
+        if position >= size_bits:
+            return None
+        candidate = finder.find_next(position)
+        if candidate is None:
+            return None
+        try:
+            data, unresolved, end_bit = _decode_segment(
+                file_reader, candidate, window=None, placeholder=placeholder
+            )
+        except FormatError:
+            position = candidate + 1
+            continue
+        if not data:
+            position = candidate + 1
+            continue
+        return ResyncSegment(candidate, data, unresolved, end_bit)
+    return None

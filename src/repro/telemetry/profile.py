@@ -134,4 +134,26 @@ def format_profile(statistics: dict, *, wall_time: float = None,
         if summary and summary.get("count"):
             info(_histogram_line(label, summary))
 
+    # Resilience: only reported when something actually went wrong — a
+    # clean run keeps its profile unchanged.
+    crashes = pool.get("worker_crashes", 0)
+    respawns = pool.get("worker_respawns", 0)
+    requeued = pool.get("tasks_requeued", 0)
+    timeouts = pool.get("task_timeouts", 0)
+    retries = statistics.get("retries", 0)
+    downgrades = statistics.get("backend_downgrades", 0)
+    damaged = statistics.get("damaged_regions", 0)
+    if crashes or respawns or requeued or timeouts or retries or downgrades:
+        info(
+            f"{'Resilience':<28}: {crashes} worker crash(es), "
+            f"{respawns} respawn(s), {requeued} task(s) requeued, "
+            f"{timeouts} watchdog timeout(s), {retries} chunk retry(ies), "
+            f"{downgrades} backend downgrade(s)"
+        )
+    if damaged:
+        info(
+            f"{'Damage':<28}: {damaged} region(s) tolerated — see the "
+            f"damage summary"
+        )
+
     return lines

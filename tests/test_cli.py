@@ -49,7 +49,8 @@ class TestDecompress:
         blob = bytearray(stdlib_gzip.compress(DATA[:50_000]))
         blob[-6] ^= 0xFF
         bad.write_bytes(bytes(blob))
-        assert main(["-c", str(bad)]) == 1
+        # A flipped CRC byte is an integrity failure: exit code 5.
+        assert main(["-c", str(bad)]) == 5
         assert "error" in capsys.readouterr().err
 
     def test_no_verify_allows_corrupt(self, tmp_path, capsysbinary):

@@ -14,7 +14,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import FormatError, IntegrityError, UsageError
+from repro.errors import (
+    ChunkDecodeError,
+    FormatError,
+    IntegrityError,
+    UsageError,
+)
 from repro.gz.writer import compress as gz_compress
 from repro.index import GzipIndex
 from repro.reader import ParallelGzipReader, decompress_parallel
@@ -281,8 +286,10 @@ class TestEdgeCases:
 
     def test_truncated_file_raises(self):
         blob = stdlib_gzip.compress(TEXT[:100_000])
-        with pytest.raises(FormatError):
+        with pytest.raises(ChunkDecodeError) as info:
             decompress_parallel(blob[: len(blob) // 2], 2, chunk_size=8 * 1024)
+        # The retry ladder wraps the failure but chains the real cause.
+        assert isinstance(info.value.__cause__, FormatError)
 
     def test_not_gzip_raises(self):
         with pytest.raises(FormatError):
