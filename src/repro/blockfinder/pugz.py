@@ -40,23 +40,26 @@ class PugzBlockFinder(BlockFinder):
     """Candidate finder with pugz's decode-ahead ASCII validation."""
 
     def __init__(self, source, *, min_decoded: int = _MIN_DECODED,
-                 max_decoded: int = _MAX_DECODED):
+                 max_decoded: int = _MAX_DECODED, decoder: str = None):
         self._reader = BitReader(ensure_file_reader(source))
         self._min_decoded = min_decoded
         self._max_decoded = max_decoded
+        self._decoder = decoder
 
     def _trial(self, position: int) -> bool:
         reader = self._reader
         reader.seek(position)
         try:
             header = read_block_header(reader, strict=True)
-            decoder = TwoStageStreamDecoder(window=None, max_size=self._max_decoded)
-            decoder.decode_block(reader, header)
-            while decoder.produced < self._min_decoded and not header.final:
-                header = decoder.read_and_decode_block(reader)
-            if decoder.produced < self._min_decoded:
+            stream = TwoStageStreamDecoder(
+                window=None, max_size=self._max_decoded, decoder=self._decoder
+            )
+            stream.decode_block(reader, header)
+            while stream.produced < self._min_decoded and not header.final:
+                header = stream.read_and_decode_block(reader)
+            if stream.produced < self._min_decoded:
                 return False
-            payload = decoder.finish()
+            payload = stream.finish()
         except FormatError:
             return False
         for segment in payload.segments:

@@ -62,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         "GIL-bound search path on multi-core machines and threads for "
         "the zlib-delegation paths (loaded index, BGZF)",
     )
+    parser.add_argument(
+        "--decoder",
+        default=None,
+        choices=["fused", "legacy"],
+        help="Deflate block-decode kernel: fused (default; table-fused "
+        "fast loops) or legacy (symbol-at-a-time reference loops); both "
+        "produce identical output ($REPRO_DECODER sets the default)",
+    )
     parser.add_argument("-o", "--output", help="output file path")
     parser.add_argument(
         "-c", "--stdout", action="store_true", help="write output to stdout"
@@ -281,6 +289,7 @@ def _dispatch(arguments) -> int:
         max_retries=arguments.max_retries,
         chunk_timeout=arguments.chunk_timeout,
         trace=bool(arguments.trace),
+        decoder=arguments.decoder,
     )
     try:
         if arguments.export_index:

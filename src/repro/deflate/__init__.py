@@ -18,6 +18,13 @@ from .constants import (
     MIN_MATCH_LENGTH,
 )
 from .inflate import BlockBoundary, InflateResult, TwoStageStreamDecoder, inflate
+from .kernels import (
+    DECODER_NAMES,
+    block_decoders,
+    decode_block_into_bytearray_fused,
+    decode_block_two_stage_fused,
+    resolve_decoder,
+)
 from .markers import (
     ChunkPayload,
     pad_window,
@@ -44,6 +51,11 @@ __all__ = [
     "InflateResult",
     "TwoStageStreamDecoder",
     "inflate",
+    "DECODER_NAMES",
+    "block_decoders",
+    "decode_block_into_bytearray_fused",
+    "decode_block_two_stage_fused",
+    "resolve_decoder",
     "ChunkPayload",
     "pad_window",
     "replace_markers",

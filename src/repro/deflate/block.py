@@ -101,6 +101,7 @@ class BlockHeader:
     literal_decoder: CanonicalDecoder = None
     distance_decoder: CanonicalDecoder = None  # None => no distance codes
     code_lengths: list = field(default=None, repr=False)
+    fused: object = field(default=None, repr=False)  # FusedDecoder cache
 
     @property
     def is_compressed(self) -> bool:

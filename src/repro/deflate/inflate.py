@@ -15,13 +15,9 @@ from dataclasses import dataclass
 
 from ..errors import DeflateError
 from ..io import BitReader, ensure_file_reader
-from .block import (
-    BlockHeader,
-    decode_block_into_bytearray,
-    decode_block_two_stage,
-    read_block_header,
-)
+from .block import BlockHeader, read_block_header
 from .constants import MAX_WINDOW_SIZE
+from .kernels import block_decoders
 from .markers import ChunkPayload, seed_marker_window
 
 __all__ = ["inflate", "InflateResult", "BlockBoundary", "TwoStageStreamDecoder"]
@@ -48,14 +44,18 @@ class InflateResult:
     boundaries: list
 
 
-def inflate(source, window: bytes = b"", max_size: int = None) -> InflateResult:
+def inflate(source, window: bytes = b"", max_size: int = None,
+            decoder: str = None) -> InflateResult:
     """Decode one complete Deflate stream conventionally.
 
     ``source`` may be raw bytes, a file reader, or a positioned
     :class:`BitReader` (which will be read from its current offset —
     this is how the gzip layer resumes after a stream header).
+    ``decoder`` selects the block kernel (``fused``/``legacy``; default from
+    ``$REPRO_DECODER``).
     """
     reader = source if isinstance(source, BitReader) else BitReader(ensure_file_reader(source))
+    decode_bytes, _ = block_decoders(decoder)
     buffer = bytearray(window[-MAX_WINDOW_SIZE:])
     seed = len(buffer)
     boundaries = []
@@ -66,7 +66,7 @@ def inflate(source, window: bytes = b"", max_size: int = None) -> InflateResult:
             BlockBoundary(header.start_bit_offset, len(buffer) - seed,
                           header.block_type, header.final)
         )
-        decode_block_into_bytearray(reader, header, buffer, max_size=limit)
+        decode_bytes(reader, header, buffer, limit)
         if header.final:
             break
     return InflateResult(bytes(buffer[seed:]), reader.tell(), boundaries)
@@ -84,10 +84,12 @@ class TwoStageStreamDecoder:
     single-stage decompression (§4.4).
     """
 
-    def __init__(self, window: bytes = None, max_size: int = None):
+    def __init__(self, window: bytes = None, max_size: int = None,
+                 decoder: str = None):
         self.payload = ChunkPayload()
         self.boundaries: list = []
         self._max_size = max_size
+        self._decode_bytes, self._decode_symbols = block_decoders(decoder)
         self._emitted = 0
         if window is None:
             self._list_buffer = seed_marker_window()
@@ -119,7 +121,7 @@ class TwoStageStreamDecoder:
                           header.block_type, header.final)
         )
         if self._list_buffer is not None:
-            self._last_marker_end = decode_block_two_stage(
+            self._last_marker_end = self._decode_symbols(
                 reader, header, self._list_buffer, self._last_marker_end
             )
             self._check_size()
@@ -127,7 +129,7 @@ class TwoStageStreamDecoder:
             if self._list_buffer is not None and len(self._list_buffer) > _FLUSH_THRESHOLD:
                 self._flush_list(keep=MAX_WINDOW_SIZE)
         else:
-            decode_block_into_bytearray(reader, header, self._byte_buffer)
+            self._decode_bytes(reader, header, self._byte_buffer)
             self._check_size()
             if len(self._byte_buffer) > _FLUSH_THRESHOLD:
                 self._flush_bytes(keep=MAX_WINDOW_SIZE)

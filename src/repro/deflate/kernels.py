@@ -1,0 +1,306 @@
+"""Fused Deflate block-decode kernels (paper §4.1, Table 2).
+
+These are drop-in replacements for the legacy symbol-at-a-time loops in
+:mod:`repro.deflate.block`. Two ingredients make them fast:
+
+* :class:`~repro.huffman.fused.FusedDecoder` tables whose entries
+  pre-resolve everything the legacy loop branches on per symbol (kind,
+  bits consumed, extra bits, base value, even a second literal);
+* an **inlined bit buffer**: the kernel pulls the reader's cursor into
+  local variables via :meth:`BitReader.export_state`, refills inline, and
+  resynchronizes with :meth:`BitReader.import_state` at block end — zero
+  per-symbol method calls.
+
+The refill tops the buffer up to at least 48 bits, the worst case one
+iteration can consume (20 for a literal/length code incl. pending extra +
+28 for a distance code incl. pending extra), pulling up to 32 bytes per
+``int.from_bytes`` call: the call has fixed overhead, so large takes that
+leave a few hundred bits in the buffer beat byte-at-a-time reads even
+though every shift then runs on a multi-digit int. When fewer than 48
+bits remain — only possible inside the last six input bytes — the kernel
+resyncs the reader and delegates the block remainder to the legacy loop,
+which has exact bounds-checked EOF semantics. Stored blocks and degenerate
+headers with no distance code take the legacy path outright.
+
+Literal bytes are emitted through :data:`_EMIT`, a table of pre-built
+1- and 2-byte ``bytes`` objects indexed by the fused entry's payload, so a
+single-literal and a two-literal entry share one branch and one
+``+=``/``extend`` call.
+
+Decoder selection: :func:`resolve_decoder` maps ``None``/``"auto"`` to the
+``REPRO_DECODER`` environment variable (default ``fused``);
+:func:`block_decoders` returns the matching (conventional, two-stage)
+function pair for the wire-through call sites.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import DeflateError, UsageError
+from .block import (
+    decode_block_into_bytearray,
+    decode_block_two_stage,
+)
+from .constants import BLOCK_TYPE_STORED
+
+# Imported lazily in _fused_for: repro.huffman.fused itself imports
+# repro.deflate.constants, so a module-level import here would make the
+# cycle unresolvable when repro.huffman.fused is imported first.
+FusedDecoder = None
+
+__all__ = [
+    "DECODER_NAMES",
+    "resolve_decoder",
+    "block_decoders",
+    "decode_block_into_bytearray_fused",
+    "decode_block_two_stage_fused",
+]
+
+DECODER_NAMES = ("fused", "legacy")
+
+#: ``bytes`` to emit per literal-entry payload: index < 256 is a single
+#: byte, index 256 + (b1 | b2 << 8) is the two-byte pair ``b1, b2``
+#: (see ``EMIT_PAIR_OFFSET`` in :mod:`repro.huffman.fused`).
+_EMIT: list = None
+
+
+def _emit_table() -> list:
+    global _EMIT
+    if _EMIT is None:
+        singles = [bytes((value,)) for value in range(256)]
+        pairs = [bytes((value & 255, value >> 8)) for value in range(1 << 16)]
+        _EMIT = singles + pairs
+    return _EMIT
+
+
+def resolve_decoder(name=None) -> str:
+    """Resolve a decoder name, falling back to ``$REPRO_DECODER``/``fused``."""
+    if name in (None, "auto"):
+        name = os.environ.get("REPRO_DECODER", "fused") or "fused"
+    if name not in DECODER_NAMES:
+        raise UsageError(
+            f"unknown decoder {name!r}; expected one of {', '.join(DECODER_NAMES)}"
+        )
+    return name
+
+
+def block_decoders(name=None):
+    """``(conventional, two_stage)`` block-decode functions for ``name``."""
+    if resolve_decoder(name) == "legacy":
+        return decode_block_into_bytearray, decode_block_two_stage
+    return decode_block_into_bytearray_fused, decode_block_two_stage_fused
+
+
+def _fused_for(header):
+    fused = header.fused
+    if fused is None:
+        global FusedDecoder
+        if FusedDecoder is None:
+            from ..huffman.fused import FusedDecoder
+        fused = FusedDecoder(header.literal_decoder, header.distance_decoder)
+        header.fused = fused
+    return fused
+
+
+def decode_block_into_bytearray_fused(reader, header, buffer: bytearray,
+                                      max_size: int = None) -> None:
+    """Fused conventional decode; same contract as the legacy function."""
+    if header.block_type == BLOCK_TYPE_STORED or header.distance_decoder is None:
+        return decode_block_into_bytearray(reader, header, buffer, max_size)
+    fused = _fused_for(header)
+    lit_table = fused.lit_table
+    lit_mask = fused.lit_mask
+    dist_table = None  # built lazily on the first match
+    dist_mask = 0
+    emit = _emit_table()
+    from_bytes = int.from_bytes
+    length_of = len
+
+    buf, bits, byte_pos, chunk, chunk_start, pread, cache_size = reader.export_state()
+    chunk_len = length_of(chunk)
+    owned = True
+    try:
+        while True:
+            if bits < 48:
+                while bits < 48:
+                    offset = byte_pos - chunk_start
+                    if offset < 0 or offset >= chunk_len:
+                        chunk = pread(byte_pos, cache_size)
+                        chunk_start = byte_pos
+                        chunk_len = length_of(chunk)
+                        if not chunk_len:
+                            break
+                        offset = 0
+                    take = chunk_len - offset
+                    if take > 32:
+                        take = 32
+                    buf |= from_bytes(chunk[offset : offset + take], "little") << bits
+                    bits += take * 8
+                    byte_pos += take
+                if bits < 48:
+                    # EOF zone: resync and let the bounds-checked legacy
+                    # loop finish (or fault on) the tail.
+                    reader.import_state((buf, bits, byte_pos, chunk, chunk_start))
+                    owned = False
+                    return decode_block_into_bytearray(reader, header, buffer, max_size)
+
+            entry = lit_table[buf & lit_mask]
+            consumed = entry & 31
+            buf >>= consumed
+            bits -= consumed
+            if entry & 32 == 0:
+                if consumed:
+                    buffer += emit[entry >> 6]
+                    continue
+                raise DeflateError("invalid literal/length prefix")
+            length = entry >> 6
+            if length == 0:  # end-of-block
+                return
+            if length >= 512:  # extra bits pending (not baked into the slot)
+                extra = length >> 9
+                length = (length & 511) + (buf & ((1 << extra) - 1))
+                buf >>= extra
+                bits -= extra
+
+            if dist_table is None:
+                dist_table, dist_mask = fused.distance_table()
+            dentry = dist_table[buf & dist_mask]
+            consumed = dentry & 31
+            if not consumed:
+                raise DeflateError("invalid distance prefix")
+            buf >>= consumed
+            bits -= consumed
+            distance = dentry >> 5
+            extra = distance & 15
+            if extra:  # pending distance extra bits
+                distance = (distance >> 4) + (buf & ((1 << extra) - 1))
+                buf >>= extra
+                bits -= extra
+            else:
+                distance >>= 4
+
+            size = length_of(buffer)
+            if distance > size:
+                raise DeflateError(
+                    f"distance {distance} reaches before start of data ({size} known)"
+                )
+            start = size - distance
+            if distance >= length:
+                buffer += buffer[start : start + length]
+            else:
+                while length > 0:
+                    take = length_of(buffer) - start
+                    if take > length:
+                        take = length
+                    buffer += buffer[start : start + take]
+                    length -= take
+            if max_size is not None and length_of(buffer) > max_size:
+                raise DeflateError("decoded output exceeds configured maximum")
+    finally:
+        if owned:
+            reader.import_state((buf, bits, byte_pos, chunk, chunk_start))
+
+
+def decode_block_two_stage_fused(reader, header, buffer: list,
+                                 last_marker_end: int, max_size: int = None) -> int:
+    """Fused two-stage (marker-mode) decode; same contract as the legacy one."""
+    if header.block_type == BLOCK_TYPE_STORED or header.distance_decoder is None:
+        return decode_block_two_stage(reader, header, buffer, last_marker_end, max_size)
+    fused = _fused_for(header)
+    lit_table = fused.lit_table
+    lit_mask = fused.lit_mask
+    dist_table = None  # built lazily on the first match
+    dist_mask = 0
+    emit = _emit_table()
+    extend = buffer.extend
+    from_bytes = int.from_bytes
+    length_of = len
+
+    buf, bits, byte_pos, chunk, chunk_start, pread, cache_size = reader.export_state()
+    chunk_len = length_of(chunk)
+    owned = True
+    try:
+        while True:
+            if bits < 48:
+                while bits < 48:
+                    offset = byte_pos - chunk_start
+                    if offset < 0 or offset >= chunk_len:
+                        chunk = pread(byte_pos, cache_size)
+                        chunk_start = byte_pos
+                        chunk_len = length_of(chunk)
+                        if not chunk_len:
+                            break
+                        offset = 0
+                    take = chunk_len - offset
+                    if take > 32:
+                        take = 32
+                    buf |= from_bytes(chunk[offset : offset + take], "little") << bits
+                    bits += take * 8
+                    byte_pos += take
+                if bits < 48:
+                    reader.import_state((buf, bits, byte_pos, chunk, chunk_start))
+                    owned = False
+                    return decode_block_two_stage(
+                        reader, header, buffer, last_marker_end, max_size
+                    )
+
+            entry = lit_table[buf & lit_mask]
+            consumed = entry & 31
+            buf >>= consumed
+            bits -= consumed
+            if entry & 32 == 0:
+                if consumed:
+                    extend(emit[entry >> 6])
+                    continue
+                raise DeflateError("invalid literal/length prefix")
+            length = entry >> 6
+            if length == 0:  # end-of-block
+                return last_marker_end
+            if length >= 512:  # extra bits pending (not baked into the slot)
+                extra = length >> 9
+                length = (length & 511) + (buf & ((1 << extra) - 1))
+                buf >>= extra
+                bits -= extra
+
+            if dist_table is None:
+                dist_table, dist_mask = fused.distance_table()
+            dentry = dist_table[buf & dist_mask]
+            consumed = dentry & 31
+            if not consumed:
+                raise DeflateError("invalid distance prefix")
+            buf >>= consumed
+            bits -= consumed
+            distance = dentry >> 5
+            extra = distance & 15
+            if extra:  # pending distance extra bits
+                distance = (distance >> 4) + (buf & ((1 << extra) - 1))
+                buf >>= extra
+                bits -= extra
+            else:
+                distance >>= 4
+
+            size = length_of(buffer)
+            if distance > size:
+                raise DeflateError(
+                    f"distance {distance} reaches before start of data ({size} known)"
+                )
+            start = size - distance
+            if start < last_marker_end:
+                # Source may contain markers; destination inherits the taint.
+                last_marker_end = size + length
+            if distance >= length:
+                extend(buffer[start : start + length])
+            else:
+                remaining = length
+                while remaining > 0:
+                    take = length_of(buffer) - start
+                    if take > remaining:
+                        take = remaining
+                    extend(buffer[start : start + take])
+                    remaining -= take
+            if max_size is not None and length_of(buffer) > max_size:
+                raise DeflateError("decoded output exceeds configured maximum")
+    finally:
+        if owned:
+            reader.import_state((buf, bits, byte_pos, chunk, chunk_start))

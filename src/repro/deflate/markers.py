@@ -31,9 +31,18 @@ __all__ = [
 ]
 
 
+#: Template for :func:`seed_marker_window`, materialized once. ``list.copy``
+#: of 32 Ki ints is a single memcpy-like operation, far cheaper than
+#: re-materializing ``range()`` for every chunk a worker decodes.
+_MARKER_WINDOW_TEMPLATE: list = None
+
+
 def seed_marker_window() -> list:
     """The 32 Ki marker symbols that stand in for an unknown window."""
-    return list(range(MARKER_FLAG, MARKER_FLAG + MAX_WINDOW_SIZE))
+    global _MARKER_WINDOW_TEMPLATE
+    if _MARKER_WINDOW_TEMPLATE is None:
+        _MARKER_WINDOW_TEMPLATE = list(range(MARKER_FLAG, MARKER_FLAG + MAX_WINDOW_SIZE))
+    return _MARKER_WINDOW_TEMPLATE.copy()
 
 
 def pad_window(window: bytes) -> bytes:

@@ -102,20 +102,24 @@ def decode_chunk_range(
     window: bytes,
     *,
     max_output: int = None,
+    decoder: str = None,
 ) -> ChunkResult:
     """Decode from ``start_bit`` until the stop condition or file end.
 
     ``window=None`` selects two-stage (marker) decoding; a ``bytes`` window
-    selects conventional decoding. Raises :class:`FormatError` if the data
-    at ``start_bit`` is not a decodable chain of Deflate blocks — exactly
-    the signal the speculative caller uses to advance to the next
-    candidate.
+    selects conventional decoding. ``decoder`` picks the block kernel
+    (``fused``/``legacy``; default from ``$REPRO_DECODER``). Raises
+    :class:`FormatError` if the data at ``start_bit`` is not a decodable
+    chain of Deflate blocks — exactly the signal the speculative caller
+    uses to advance to the next candidate.
     """
     requested_start = start_bit
     start_bit = _skip_member_header(file_reader, start_bit)
     reader = BitReader(file_reader.clone())
     size_bits = reader.size_in_bits()
-    decoder = TwoStageStreamDecoder(window=window, max_size=max_output)
+    stream = TwoStageStreamDecoder(
+        window=window, max_size=max_output, decoder=decoder
+    )
     events: list = []
     end_bit = None
     end_is_stream_start = False
@@ -125,7 +129,7 @@ def decode_chunk_range(
         position = reader.tell()
         if position >= size_bits:
             raise TruncatedError("input ended inside a Deflate stream")
-        if stop_bit is not None and decoder.boundaries:
+        if stop_bit is not None and stream.boundaries:
             probe = reader.peek(3)
             final_bit = probe & 1
             block_type = (probe >> 1) & 0b11
@@ -141,7 +145,7 @@ def decode_chunk_range(
                     end_bit = normalized
                     break
         header = read_block_header(reader)
-        decoder.decode_block(reader, header)
+        stream.decode_block(reader, header)
         if not header.final:
             continue
 
@@ -149,7 +153,7 @@ def decode_chunk_range(
         reader.align_to_byte()
         footer = parse_gzip_footer(reader)
         events.append(
-            StreamEvent("footer", decoder.produced, footer.crc32, footer.isize)
+            StreamEvent("footer", stream.produced, footer.crc32, footer.isize)
         )
         byte_position = reader.tell() // 8
         probe_bytes = file_reader.pread(byte_position, 2)
@@ -160,7 +164,7 @@ def decode_chunk_range(
                 end_bit = reader.tell()  # next chunk starts at the Deflate data
                 end_is_stream_start = True
                 break
-            events.append(StreamEvent("header", decoder.produced))
+            events.append(StreamEvent("header", stream.produced))
             # Markers cannot legally reach across members; continue in the
             # same decoder, whose buffer simply keeps growing.
             continue
@@ -173,14 +177,14 @@ def decode_chunk_range(
             f"trailing garbage after gzip member at byte {byte_position}"
         )
 
-    payload = decoder.finish()
+    payload = stream.finish()
     return ChunkResult(
         start_bit=requested_start,
         end_bit=end_bit,
         end_is_stream_start=end_is_stream_start,
         payload=payload,
         events=events,
-        boundaries=decoder.boundaries,
+        boundaries=stream.boundaries,
         window_known=window is not None,
         compressed_size_bits=(end_bit if end_bit is not None else reader.tell())
         - requested_start,
@@ -196,6 +200,7 @@ def speculative_decode(
     max_output: int = None,
     max_candidates: int = 32 * 1024,
     telemetry=None,
+    decoder: str = None,
 ) -> ChunkResult:
     """Search chunk ``chunk_index`` for a Deflate block and decode from it.
 
@@ -231,11 +236,13 @@ def speculative_decode(
                     "chunk.decode_attempt", chunk_id=chunk_index, start_bit=offset
                 ):
                     result = decode_chunk_range(
-                        file_reader, offset, stop_bit, None, max_output=max_output
+                        file_reader, offset, stop_bit, None,
+                        max_output=max_output, decoder=decoder,
                     )
             else:
                 result = decode_chunk_range(
-                    file_reader, offset, stop_bit, None, max_output=max_output
+                    file_reader, offset, stop_bit, None,
+                    max_output=max_output, decoder=decoder,
                 )
             result.speculative = True
             break
@@ -408,6 +415,7 @@ def decode_index_chunk(
     expected_size: int = None,
     is_last: bool = False,
     max_output: int = None,
+    decoder: str = None,
 ) -> ChunkResult:
     """Decode one index-interval chunk: zlib fast path, our decoder as
     fallback (paper §3.3).
@@ -424,7 +432,8 @@ def decode_index_chunk(
         )
     except FormatError:
         result = decode_chunk_range(
-            file_reader, start_bit, end_bit, window, max_output=max_output
+            file_reader, start_bit, end_bit, window,
+            max_output=max_output, decoder=decoder,
         )
     result.end_bit = None if is_last else end_bit
     return result

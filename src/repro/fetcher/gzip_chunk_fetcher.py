@@ -23,6 +23,7 @@ import threading
 
 from .. import faults
 from ..cache import FetchNextAdaptive, LRUCache
+from ..deflate.kernels import resolve_decoder
 from ..errors import (
     ChunkDecodeError,
     FormatError,
@@ -78,6 +79,7 @@ class GzipChunkFetcher:
         max_retries: int = 2,
         chunk_timeout: float = None,
         telemetry: Telemetry = None,
+        decoder: str = None,
     ):
         if parallelization < 1:
             raise UsageError("parallelization must be at least 1")
@@ -93,6 +95,10 @@ class GzipChunkFetcher:
         self.strategy = strategy or FetchNextAdaptive()
         self.find_uncompressed = find_uncompressed
         self.max_chunk_output = max_chunk_output
+        # Resolve the kernel choice in the parent so worker processes see a
+        # concrete name regardless of their environment (and so a typo
+        # fails at construction, not in a worker).
+        self.decoder = resolve_decoder(decoder)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
 
         # Mode detection must precede pool creation: backend="auto" picks
@@ -222,6 +228,7 @@ class GzipChunkFetcher:
                 find_uncompressed=self.find_uncompressed,
                 max_output=self.max_chunk_output,
                 telemetry=self.telemetry,
+                decoder=self.decoder,
             )
         if self.mode == "index":
             return self._decode_index_chunk(chunk_id)
@@ -259,6 +266,7 @@ class GzipChunkFetcher:
             expected_size=expected,
             is_last=is_last,
             max_output=self.max_chunk_output,
+            decoder=self.decoder,
         )
 
     def _spec_for_id(self, chunk_id: int, attempt: int = 0,
@@ -275,6 +283,7 @@ class GzipChunkFetcher:
             chunk_id=chunk_id,
             attempt=attempt,
             faults=faults.active(),
+            decoder=self.decoder,
             trace=self.telemetry.tracing,
             trace_origin=self.telemetry.recorder.origin,
         )
@@ -574,6 +583,7 @@ class GzipChunkFetcher:
                     stop_bit,
                     window,
                     max_output=self.max_chunk_output,
+                    decoder=self.decoder,
                 )
         return self._run_chunk_task(chunk_id, "on_demand", attempt=attempt)
 
@@ -596,6 +606,7 @@ class GzipChunkFetcher:
         return {
             "mode": self.mode,
             "backend": self.backend,
+            "decoder": self.decoder,
             "prefetch_cache": self.prefetch_cache.statistics.as_dict(),
             "access_cache": self.access_cache.statistics.as_dict(),
             "speculative_submitted": self.speculative_submitted,

@@ -156,6 +156,9 @@ class ChunkTaskSpec:
     # active FaultInjector (or None) — travels with the task so chunk
     # faults fire in whichever process actually decodes the chunk
     faults: object = None
+    # block-decode kernel for the Deflate paths ("fused"/"legacy"; None
+    # lets the worker resolve $REPRO_DECODER itself)
+    decoder: str = None
     # telemetry plumbing
     trace: bool = False
     trace_origin: float = None
@@ -226,6 +229,7 @@ def _decode_for_spec(spec: ChunkTaskSpec, reader, telemetry) -> ChunkResult:
                 spec.end_bit,
                 spec.window,
                 max_output=spec.max_output,
+                decoder=spec.decoder,
             )
         return speculative_decode(
             reader,
@@ -234,6 +238,7 @@ def _decode_for_spec(spec: ChunkTaskSpec, reader, telemetry) -> ChunkResult:
             find_uncompressed=spec.find_uncompressed,
             max_output=spec.max_output,
             telemetry=telemetry,
+            decoder=spec.decoder,
         )
     if spec.mode == "index":
         return decode_index_chunk(
@@ -244,6 +249,7 @@ def _decode_for_spec(spec: ChunkTaskSpec, reader, telemetry) -> ChunkResult:
             expected_size=spec.expected_size,
             is_last=spec.is_last,
             max_output=spec.max_output,
+            decoder=spec.decoder,
         )
     if spec.mode == "bgzf":
         return decode_bgzf_members(

@@ -103,12 +103,25 @@ def canonical_codes_from_lengths(lengths: Sequence[int]) -> list:
     return codes
 
 
+#: Shared 16-bit bit-reverse LUT, built once on first use. Table
+#: construction is hot — the block finder builds a decoder for every
+#: surviving candidate header — so the per-code Python reverse loop is
+#: replaced by one lookup plus a shift.
+_REVERSE16: list = None
+
+
+def _reverse16_lut() -> list:
+    global _REVERSE16
+    if _REVERSE16 is None:
+        lut = [0] * (1 << 16)
+        for value in range(1, 1 << 16):
+            lut[value] = (lut[value >> 1] >> 1) | ((value & 1) << 15)
+        _REVERSE16 = lut
+    return _REVERSE16
+
+
 def _reverse_bits(value: int, width: int) -> int:
-    result = 0
-    for _ in range(width):
-        result = (result << 1) | (value & 1)
-        value >>= 1
-    return result
+    return _reverse16_lut()[value & 0xFFFF] >> (16 - width)
 
 
 class CanonicalDecoder:
@@ -123,9 +136,12 @@ class CanonicalDecoder:
     distance codes that use a single symbol); the block finder never sets it.
     """
 
-    __slots__ = ("table", "max_length", "num_symbols", "classification")
+    __slots__ = ("table", "max_length", "num_symbols", "classification",
+                 "fused_literal", "fused_distance")
 
     def __init__(self, lengths: Sequence[int], *, allow_incomplete: bool = False):
+        self.fused_literal = None  # cache slots for repro.huffman.fused
+        self.fused_distance = None
         classification = classify_code_lengths(lengths)
         if classification is CodeClassification.INVALID:
             raise HuffmanError("over-subscribed code lengths")
@@ -142,12 +158,13 @@ class CanonicalDecoder:
         table_size = 1 << max_length
         table = [0] * table_size
         codes = canonical_codes_from_lengths(lengths)
+        reverse = _reverse16_lut()
         symbols = 0
         for symbol, (length, code) in enumerate(zip(lengths, codes)):
             if not length:
                 continue
             symbols += 1
-            prefix = _reverse_bits(code, length)
+            prefix = reverse[code] >> (16 - length)
             entry = (length << 9) | symbol
             step = 1 << length
             count = table_size >> length

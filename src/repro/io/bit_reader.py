@@ -153,6 +153,43 @@ class BitReader:
             self._buffer_bits -= consume
         return bit_offset
 
+    # -- state export for inlined decode kernels -----------------------------
+
+    def export_state(self) -> tuple:
+        """Snapshot the bit-buffer state for an inlined decode loop.
+
+        Returns ``(buffer, buffer_bits, byte_position, chunk, chunk_start,
+        pread, cache_size)``. The first five entries are the mutable cursor a
+        kernel advances on local variables (see
+        :mod:`repro.deflate.kernels`); ``pread``/``cache_size`` let it
+        replicate :meth:`_refill` without per-symbol method calls. The kernel
+        must hand the cursor back via :meth:`import_state` before anything
+        else touches the reader.
+        """
+        return (
+            self._buffer,
+            self._buffer_bits,
+            self._byte_position,
+            self._chunk,
+            self._chunk_start,
+            self._reader.pread,
+            self._cache_size,
+        )
+
+    def import_state(self, state: tuple) -> None:
+        """Resynchronize the reader from a kernel's advanced cursor.
+
+        Accepts the first five elements of an :meth:`export_state` tuple:
+        ``(buffer, buffer_bits, byte_position, chunk, chunk_start)``.
+        """
+        (
+            self._buffer,
+            self._buffer_bits,
+            self._byte_position,
+            self._chunk,
+            self._chunk_start,
+        ) = state
+
     # -- byte-oriented fast paths --------------------------------------------
 
     def align_to_byte(self) -> int:

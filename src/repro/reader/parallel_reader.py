@@ -66,6 +66,7 @@ class ParallelGzipReader:
         chunk_timeout: float = None,
         trace: bool = False,
         telemetry: Telemetry = None,
+        decoder: str = None,
     ):
         """Open a gzip file for parallel reading.
 
@@ -93,6 +94,12 @@ class ParallelGzipReader:
         ``max_retries`` bounds the fetcher's per-chunk retry ladder and
         ``chunk_timeout`` (seconds) turns a hung chunk decode into a
         retryable timeout (also arming the process pool's watchdog).
+
+        ``decoder`` selects the Deflate block-decode kernel: ``"fused"``
+        (default, the table-fused fast loops) or ``"legacy"`` (the
+        symbol-at-a-time reference loops); ``None`` resolves
+        ``$REPRO_DECODER``. Both produce byte-identical output — the knob
+        exists for benchmarking and as an escape hatch.
 
         ``trace=True`` records chunk-lifecycle spans for the whole pipeline
         (reader, fetcher, pool workers, block finders); export them with
@@ -132,6 +139,7 @@ class ParallelGzipReader:
                 max_retries=max_retries,
                 chunk_timeout=chunk_timeout,
                 telemetry=self.telemetry,
+                decoder=decoder,
             )
 
         try:

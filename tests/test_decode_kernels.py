@@ -1,0 +1,307 @@
+"""Differential tests for the fused Deflate decode kernels.
+
+The fused kernels (``repro.deflate.kernels``) must be byte-for-byte
+interchangeable with the legacy loops in every mode: conventional decode,
+two-stage (marker) decode including the exact marker symbols, error
+behavior on truncated input, and through the fetcher/reader pipeline.
+zlib is the external referee wherever a complete stream is decoded.
+"""
+
+import gzip as stdlib_gzip
+import io
+import random
+import zlib
+
+import pytest
+
+from repro.datagen import generate_base64, generate_fastq, generate_silesia_like
+from repro.deflate import (
+    TwoStageStreamDecoder,
+    inflate,
+    read_block_header,
+    resolve_decoder,
+)
+from repro.deflate.kernels import block_decoders
+from repro.errors import DeflateError, FormatError, ReproError, UsageError
+from repro.huffman import (
+    CONTROL_FLAG,
+    EMIT_PAIR_OFFSET,
+    FusedDecoder,
+    fixed_distance_decoder,
+    fixed_literal_decoder,
+)
+from repro.io import BitReader
+
+from .deflate_writer_util import (
+    encode_fixed_block,
+    encode_fixed_block_with_match,
+)
+
+
+def raw_deflate(data: bytes, level: int = 6, zdict: bytes = None) -> bytes:
+    if zdict is None:
+        compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    else:
+        compressor = zlib.compressobj(level, zlib.DEFLATED, -15, zdict=zdict)
+    return compressor.compress(data) + compressor.flush()
+
+
+def two_stage_segments(compressed: bytes, decoder: str) -> list:
+    """All payload segments from a full two-stage decode."""
+    reader = BitReader(compressed)
+    stream = TwoStageStreamDecoder(window=None, decoder=decoder)
+    while True:
+        header = stream.read_and_decode_block(reader)
+        if header.final:
+            break
+    return stream.finish().segments
+
+
+def make_corpora():
+    rng = random.Random(99)
+    return {
+        "base64": generate_base64(300_000, seed=11),
+        "fastq": generate_fastq(300_000, seed=12),
+        "silesia": generate_silesia_like(300_000, seed=13),
+        "random": bytes(rng.randrange(256) for _ in range(50_000)),
+        "rle": b"a" * 30_000,  # single-symbol distance code
+        "pairs": b"ab" * 20_000,
+        "tiny": b"x",
+        "empty": b"",
+    }
+
+
+CORPORA = make_corpora()
+
+
+class TestConventionalDifferential:
+    @pytest.mark.parametrize("name", sorted(CORPORA))
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_fused_matches_legacy_and_zlib(self, name, level):
+        data = CORPORA[name]
+        compressed = raw_deflate(data, level)
+        fused = inflate(compressed, decoder="fused")
+        legacy = inflate(compressed, decoder="legacy")
+        assert fused.data == legacy.data == data
+        assert fused.end_bit_offset == legacy.end_bit_offset
+        assert [
+            (b.bit_offset, b.output_offset, b.block_type, b.is_final)
+            for b in fused.boundaries
+        ] == [
+            (b.bit_offset, b.output_offset, b.block_type, b.is_final)
+            for b in legacy.boundaries
+        ]
+
+    @pytest.mark.parametrize("level", [0, 6])
+    def test_stored_blocks(self, level):
+        # level 0 produces stored blocks; the fused entry point must route
+        # them through the legacy loop untouched.
+        data = CORPORA["silesia"]
+        compressed = raw_deflate(data, level)
+        assert inflate(compressed, decoder="fused").data == data
+
+    def test_fixed_block(self):
+        compressed = encode_fixed_block(b"hello fused world")
+        assert inflate(compressed, decoder="fused").data == b"hello fused world"
+        assert inflate(compressed, decoder="legacy").data == b"hello fused world"
+
+    def test_fixed_block_with_match(self):
+        compressed = encode_fixed_block_with_match(4, length=12, prefix=b"abcd")
+        fused = inflate(compressed, decoder="fused").data
+        legacy = inflate(compressed, decoder="legacy").data
+        assert fused == legacy == b"abcd" + (b"abcd" * 3)
+
+    def test_window_seeded_decode(self):
+        window = bytes(range(256)) * 64
+        data = window[1000:3000] + b"fresh tail data" * 50
+        compressed = raw_deflate(data, 9, zdict=window)
+        fused = inflate(compressed, window=window, decoder="fused")
+        legacy = inflate(compressed, window=window, decoder="legacy")
+        assert fused.data == legacy.data == data
+
+    def test_max_size_enforced(self):
+        compressed = raw_deflate(b"y" * 100_000, 6)
+        with pytest.raises(DeflateError):
+            inflate(compressed, max_size=1000, decoder="fused")
+
+    @pytest.mark.parametrize("level", [1, 6])
+    def test_random_small_inputs(self, level):
+        rng = random.Random(4321)
+        for _ in range(30):
+            size = rng.randrange(0, 2000)
+            data = bytes(rng.randrange(256) for _ in range(size))
+            compressed = raw_deflate(data, level)
+            assert inflate(compressed, decoder="fused").data == data
+
+
+class TestMarkerModeDifferential:
+    @pytest.mark.parametrize("name", ["base64", "silesia", "rle", "pairs"])
+    def test_symbol_streams_identical(self, name):
+        compressed = raw_deflate(CORPORA[name], 6)
+        fused = two_stage_segments(compressed, "fused")
+        legacy = two_stage_segments(compressed, "legacy")
+        assert len(fused) == len(legacy)
+        for seg_f, seg_l in zip(fused, legacy):
+            if isinstance(seg_f, bytes):
+                assert seg_f == seg_l
+            else:
+                assert (seg_f == seg_l).all()
+
+    def test_window_references_produce_markers(self):
+        window = b"0123456789" * 4000
+        data = window[:5000] + b"new data" * 100
+        compressed = raw_deflate(data, 9, zdict=window[-32768:])
+        reader_out = {}
+        for dec in ("fused", "legacy"):
+            reader = BitReader(compressed)
+            stream = TwoStageStreamDecoder(window=None, decoder=dec)
+            while True:
+                header = stream.read_and_decode_block(reader)
+                if header.final:
+                    break
+            reader_out[dec] = stream.finish().materialize(window[-32768:])
+        assert reader_out["fused"] == reader_out["legacy"] == data
+
+
+class TestTruncationParity:
+    def test_truncated_tails_agree(self):
+        data = CORPORA["silesia"][:60_000]
+        compressed = raw_deflate(data, 6)
+        rng = random.Random(7)
+        cuts = sorted(rng.randrange(1, len(compressed)) for _ in range(25))
+        for cut in cuts:
+            piece = compressed[:cut]
+            outcomes = {}
+            for dec in ("fused", "legacy"):
+                try:
+                    outcomes[dec] = ("ok", inflate(piece, decoder=dec).data)
+                except ReproError as error:
+                    outcomes[dec] = ("error", type(error).__name__)
+            assert outcomes["fused"] == outcomes["legacy"], cut
+
+    def test_exact_eof_tail(self):
+        # Streams ending within the kernel's 48-bit EOF zone delegate to
+        # the legacy loop — outputs must still be complete and identical.
+        for size in (1, 7, 64, 257, 4096):
+            data = b"z" * size
+            compressed = raw_deflate(data, 6)
+            assert inflate(compressed, decoder="fused").data == data
+
+
+class TestFusedTables:
+    def test_fixed_literal_entries(self):
+        decoder = fixed_literal_decoder()
+        fused = FusedDecoder(decoder, fixed_distance_decoder())
+        found_single = found_pair = found_control = False
+        for entry in fused.lit_table:
+            if entry == 0:
+                continue
+            payload = entry >> 6
+            if entry & CONTROL_FLAG:
+                found_control = True
+            elif payload >= EMIT_PAIR_OFFSET:
+                found_pair = True
+            else:
+                found_single = True
+        assert found_single and found_control
+        # Fixed literal codes are 8-9 bits with width 13 (8 + 5): no two
+        # literals fit, so no pair entries are expected here.
+        assert not found_pair
+
+    def test_pair_entries_emitted_for_short_codes(self):
+        # base64 level-6 blocks have ~6-bit literal codes: pairs must
+        # appear, and decode must still agree with zlib (covered above);
+        # here just assert the table actually contains pair entries.
+        compressed = raw_deflate(CORPORA["base64"], 6)
+        reader = BitReader(compressed)
+        header = read_block_header(reader)
+        fused = FusedDecoder(header.literal_decoder, header.distance_decoder)
+        assert any(
+            not entry & CONTROL_FLAG and (entry >> 6) >= EMIT_PAIR_OFFSET
+            for entry in fused.lit_table
+            if entry
+        )
+
+    def test_distance_table_cached_on_decoder(self):
+        decoder = fixed_distance_decoder()
+        fused = FusedDecoder(fixed_literal_decoder(), decoder)
+        table1 = fused.distance_table()
+        table2 = fused.distance_table()
+        assert table1 is table2 is decoder.fused_distance
+
+
+class TestDecoderSelection:
+    def test_resolve_defaults_to_fused(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DECODER", raising=False)
+        assert resolve_decoder(None) == "fused"
+        assert resolve_decoder("auto") == "fused"
+
+    def test_resolve_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODER", "legacy")
+        assert resolve_decoder(None) == "legacy"
+        assert resolve_decoder("fused") == "fused"  # explicit beats env
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(UsageError):
+            resolve_decoder("turbo")
+
+    def test_block_decoders_pairs(self):
+        from repro.deflate.block import (
+            decode_block_into_bytearray,
+            decode_block_two_stage,
+        )
+        from repro.deflate.kernels import (
+            decode_block_into_bytearray_fused,
+            decode_block_two_stage_fused,
+        )
+
+        assert block_decoders("legacy") == (
+            decode_block_into_bytearray,
+            decode_block_two_stage,
+        )
+        assert block_decoders("fused") == (
+            decode_block_into_bytearray_fused,
+            decode_block_two_stage_fused,
+        )
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize("decoder", ["fused", "legacy"])
+    def test_parallel_reader_search_mode(self, decoder):
+        from repro.reader import decompress_parallel
+
+        data = generate_silesia_like(700_000, seed=21)
+        blob = stdlib_gzip.compress(data, 6)
+        out = decompress_parallel(
+            io.BytesIO(blob),
+            parallelization=2,
+            chunk_size=128 * 1024,
+            decoder=decoder,
+        )
+        assert out == data
+
+    @pytest.mark.parametrize("decoder", ["fused", "legacy"])
+    def test_fetcher_statistics_report_decoder(self, decoder):
+        from repro.fetcher import GzipChunkFetcher
+
+        blob = stdlib_gzip.compress(generate_base64(200_000, seed=5), 6)
+        fetcher = GzipChunkFetcher(
+            io.BytesIO(blob), chunk_size=64 * 1024, decoder=decoder
+        )
+        try:
+            assert fetcher.statistics()["decoder"] == decoder
+        finally:
+            fetcher.close()
+
+    def test_spec_carries_decoder(self):
+        from repro.fetcher import GzipChunkFetcher
+
+        blob = stdlib_gzip.compress(generate_base64(120_000, seed=6), 6)
+        fetcher = GzipChunkFetcher(
+            io.BytesIO(blob), chunk_size=64 * 1024, decoder="legacy"
+        )
+        try:
+            spec = fetcher._spec_for_id(0)
+            assert spec.decoder == "legacy"
+        finally:
+            fetcher.close()
