@@ -1,6 +1,9 @@
-"""Caching layer: LRU chunk caches and prefetch strategies."""
+"""Caching layer: LRU chunk caches, prefetch strategies, and the
+memory-budget machinery (governor, byte accounting, spill tier)."""
 
+from .budget import MemoryGovernor, format_size, parse_size
 from .lru import CacheStatistics, LRUCache
+from .spill import SpillStore
 from .strategies import (
     FetchMultiStream,
     FetchNextAdaptive,
@@ -11,6 +14,10 @@ from .strategies import (
 __all__ = [
     "CacheStatistics",
     "LRUCache",
+    "MemoryGovernor",
+    "SpillStore",
+    "format_size",
+    "parse_size",
     "FetchMultiStream",
     "FetchNextAdaptive",
     "FetchNextFixed",

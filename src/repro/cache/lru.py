@@ -9,13 +9,26 @@ evicting data the consumer is about to re-read (prefetch cache pollution).
 False positives get inserted under an offset nobody ever requests; they age
 out through normal LRU eviction, which is the mechanism that makes the
 whole architecture robust (paper §3).
+
+Beyond the paper: entry-count capacity assumes chunks of roughly uniform
+size, which a high-ratio input (a gzip bomb) breaks by orders of
+magnitude. A cache built with ``sizer=`` therefore also accounts *bytes*
+per entry, optionally evicts by a ``max_bytes`` ceiling, and reports its
+charges to a shared :class:`~repro.cache.budget.MemoryGovernor` account —
+the byte-capacity half of the memory-governed pipeline.
+
+Membership checks (``in``), :meth:`peek`, and :meth:`keys` deliberately
+touch neither the recency order nor the hit/miss statistics: the
+fetcher's prefetch scan probes both caches on every access, and counting
+those probes as lookups would both pollute the LRU order (aging out data
+the consumer is about to re-read) and inflate the reported hit rates.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import UsageError
 
@@ -28,6 +41,7 @@ class CacheStatistics:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    bytes_evicted: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,20 +56,88 @@ class CacheStatistics:
             "misses": self.misses,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "bytes_evicted": self.bytes_evicted,
             "hit_rate": self.hit_rate,
         }
 
 
 class LRUCache:
-    """Thread-safe least-recently-used mapping with a fixed capacity."""
+    """Thread-safe least-recently-used mapping with a fixed capacity.
 
-    def __init__(self, capacity: int):
+    ``sizer`` (value -> bytes) enables per-entry byte accounting;
+    ``max_bytes`` then adds byte-capacity eviction on top of the entry
+    count. The newest entry is never evicted on its own account, so an
+    oversized single entry still caches (and its true size is charged) —
+    dropping it instead would send every oversized chunk back to a full
+    re-decode. ``governor``/``account`` mirror the cache's charged bytes
+    into a shared :class:`~repro.cache.budget.MemoryGovernor`.
+    ``on_evict(key, value)`` fires for every *capacity* eviction (not for
+    ``pop``/``clear``/replacement, where the caller controls the value) —
+    the spill tier's hook.
+    """
+
+    def __init__(self, capacity: int, *, max_bytes: int = None, sizer=None,
+                 governor=None, account: str = None, on_evict=None):
         if capacity < 1:
             raise UsageError("cache capacity must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise UsageError("cache max_bytes must be at least 1")
+        if max_bytes is not None and sizer is None:
+            raise UsageError("max_bytes requires a sizer")
+        if governor is not None and account is None:
+            raise UsageError("a governed cache needs an account name")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.statistics = CacheStatistics()
+        self._sizer = sizer
+        self._governor = governor
+        self._account = account
+        self._on_evict = on_evict
         self._entries: OrderedDict = OrderedDict()
+        self._sizes: dict = {}
+        self.current_bytes = 0
+        self.peak_bytes = 0
         self._lock = threading.Lock()
+
+    # -- byte accounting ---------------------------------------------------------
+
+    def _charge(self, key, value) -> None:
+        if self._sizer is None:
+            return
+        size = self._sizer(value)
+        self._sizes[key] = size
+        self.current_bytes += size
+        if self.current_bytes > self.peak_bytes:
+            self.peak_bytes = self.current_bytes
+        if self._governor is not None:
+            self._governor.charge(self._account, size)
+
+    def _discharge(self, key) -> int:
+        if self._sizer is None:
+            return 0
+        size = self._sizes.pop(key, 0)
+        self.current_bytes -= size
+        if self._governor is not None:
+            self._governor.discharge(self._account, size)
+        return size
+
+    def _over_capacity(self) -> bool:
+        if len(self._entries) > self.capacity:
+            return True
+        return (
+            self.max_bytes is not None
+            and self.current_bytes > self.max_bytes
+            and len(self._entries) > 1  # never evict the sole (newest) entry
+        )
+
+    def _evict_lru(self) -> tuple:
+        key, value = self._entries.popitem(last=False)
+        size = self._discharge(key)
+        self.statistics.evictions += 1
+        self.statistics.bytes_evicted += size
+        return key, value
+
+    # -- mapping API -------------------------------------------------------------
 
     def get(self, key, default=None):
         """Look up ``key``, refreshing its recency on a hit."""
@@ -73,31 +155,48 @@ class LRUCache:
             return self._entries.get(key, default)
 
     def insert(self, key, value) -> None:
+        evicted = []
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
+                self._discharge(key)  # replacement: swap the charge, no hook
             self._entries[key] = value
+            self._charge(key, value)
             self.statistics.insertions += 1
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.statistics.evictions += 1
+            while self._over_capacity():
+                evicted.append(self._evict_lru())
+        if self._on_evict is not None:
+            # Outside the lock: the spill hook does disk I/O and may
+            # re-enter governor accounting.
+            for evicted_key, evicted_value in evicted:
+                self._on_evict(evicted_key, evicted_value)
 
     def pop(self, key, default=None):
         with self._lock:
-            return self._entries.pop(key, default)
+            if key in self._entries:
+                self._discharge(key)
+                return self._entries.pop(key)
+            return default
 
     def resize(self, capacity: int) -> None:
         if capacity < 1:
             raise UsageError("cache capacity must be at least 1")
+        evicted = []
         with self._lock:
             self.capacity = capacity
             while len(self._entries) > capacity:
-                self._entries.popitem(last=False)
-                self.statistics.evictions += 1
+                evicted.append(self._evict_lru())
+        if self._on_evict is not None:
+            for evicted_key, evicted_value in evicted:
+                self._on_evict(evicted_key, evicted_value)
 
     def clear(self) -> None:
         with self._lock:
+            if self._governor is not None:
+                self._governor.discharge(self._account, self.current_bytes)
             self._entries.clear()
+            self._sizes.clear()
+            self.current_bytes = 0
 
     def __contains__(self, key) -> bool:
         with self._lock:

@@ -108,6 +108,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per chunk for the fetcher's escalation ladder "
         "(default: 2)",
     )
+    robustness.add_argument(
+        "--max-memory",
+        default=None,
+        metavar="SIZE",
+        help="cap resident decompressed bytes across caches and in-flight "
+        "decodes, e.g. 64MiB, 1.5G, or a plain byte count; prefetching "
+        "backs off, oversized chunks split at block boundaries, and "
+        "evicted chunks spill to disk",
+    )
+    robustness.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for spilled chunks (default: a private temp "
+        "directory, removed on exit); implies the spill tier even "
+        "without --max-memory",
+    )
 
     group = parser.add_argument_group("index")
     group.add_argument("--export-index", metavar="FILE", help="write seek index")
@@ -290,6 +307,8 @@ def _dispatch(arguments) -> int:
         chunk_timeout=arguments.chunk_timeout,
         trace=bool(arguments.trace),
         decoder=arguments.decoder,
+        max_memory=arguments.max_memory,
+        spill_dir=arguments.spill_dir,
     )
     try:
         if arguments.export_index:

@@ -1,6 +1,12 @@
 """Workload generators for the paper's benchmark corpora."""
 
 from .base64_data import BASE64_EXPECTED_RATIO, generate_base64
+from .bomb import (
+    BOMB_MIN_RATIO,
+    bomb_expected_output,
+    generate_bomb,
+    generate_bomb_file,
+)
 from .fastq import FASTQ_EXPECTED_RATIO, count_fastq_records, generate_fastq
 from .silesia import (
     SILESIA_EXPECTED_RATIO,
@@ -12,6 +18,10 @@ from .tar import build_tar
 __all__ = [
     "BASE64_EXPECTED_RATIO",
     "generate_base64",
+    "BOMB_MIN_RATIO",
+    "bomb_expected_output",
+    "generate_bomb",
+    "generate_bomb_file",
     "FASTQ_EXPECTED_RATIO",
     "count_fastq_records",
     "generate_fastq",

@@ -103,6 +103,15 @@ class ChunkPayload:
             self.length += len(symbols)
 
     @property
+    def nbytes(self) -> int:
+        """Resident size of the stored segments (marker symbols are
+        2 bytes each) — what byte-accounted caches charge for a chunk."""
+        return sum(
+            segment.nbytes if isinstance(segment, np.ndarray) else len(segment)
+            for segment in self.segments
+        )
+
+    @property
     def has_markers(self) -> bool:
         return any(
             isinstance(segment, np.ndarray) and segment_has_markers(segment)

@@ -69,6 +69,10 @@ class ChunkResult:
     window_known: bool = False
     speculative: bool = False
     compressed_size_bits: int = 0
+    #: True when the decode stopped early at a Deflate block boundary
+    #: because the output hit the per-chunk decompressed ceiling; the
+    #: chunk chain resumes at ``end_bit`` like after any other chunk.
+    split: bool = False
 
     @property
     def length(self) -> int:
@@ -102,6 +106,7 @@ def decode_chunk_range(
     window: bytes,
     *,
     max_output: int = None,
+    split_output: int = None,
     decoder: str = None,
 ) -> ChunkResult:
     """Decode from ``start_bit`` until the stop condition or file end.
@@ -112,6 +117,17 @@ def decode_chunk_range(
     :class:`FormatError` if the data at ``start_bit`` is not a decodable
     chain of Deflate blocks — exactly the signal the speculative caller
     uses to advance to the next candidate.
+
+    ``split_output`` is the per-chunk decompressed-size *ceiling* of the
+    memory-governed pipeline: once at least one block is decoded and the
+    output reaches it, decoding stops at the next Deflate block boundary
+    and returns a **resumable partial result** (``split=True``) whose
+    ``end_bit`` continues the chunk chain — so one high-ratio "bomb"
+    chunk becomes many budget-sized chunks instead of one giant
+    allocation. Unlike ``max_output`` (a hard error), splitting loses no
+    work: everything decoded so far is verified output. A single block
+    larger than the ceiling cannot be split (Deflate blocks are atomic
+    here); ``max_output`` remains the backstop for that case.
     """
     requested_start = start_bit
     start_bit = _skip_member_header(file_reader, start_bit)
@@ -123,12 +139,25 @@ def decode_chunk_range(
     events: list = []
     end_bit = None
     end_is_stream_start = False
+    split = False
     reader.seek(start_bit)
 
     while True:
         position = reader.tell()
         if position >= size_bits:
             raise TruncatedError("input ended inside a Deflate stream")
+        if (
+            split_output is not None
+            and stream.boundaries
+            and stream.produced >= split_output
+        ):
+            # The loop top is always a clean block boundary (the previous
+            # block was non-final), so resuming an exact decode here is
+            # safe with the propagated window — no normalization needed,
+            # the emitted offset and the resume request are the same key.
+            end_bit = position
+            split = True
+            break
         if stop_bit is not None and stream.boundaries:
             probe = reader.peek(3)
             final_bit = probe & 1
@@ -188,6 +217,7 @@ def decode_chunk_range(
         window_known=window is not None,
         compressed_size_bits=(end_bit if end_bit is not None else reader.tell())
         - requested_start,
+        split=split,
     )
 
 
@@ -198,6 +228,7 @@ def speculative_decode(
     *,
     find_uncompressed: bool = True,
     max_output: int = None,
+    split_output: int = None,
     max_candidates: int = 32 * 1024,
     telemetry=None,
     decoder: str = None,
@@ -237,12 +268,14 @@ def speculative_decode(
                 ):
                     result = decode_chunk_range(
                         file_reader, offset, stop_bit, None,
-                        max_output=max_output, decoder=decoder,
+                        max_output=max_output, split_output=split_output,
+                        decoder=decoder,
                     )
             else:
                 result = decode_chunk_range(
                     file_reader, offset, stop_bit, None,
-                    max_output=max_output, decoder=decoder,
+                    max_output=max_output, split_output=split_output,
+                    decoder=decoder,
                 )
             result.speculative = True
             break

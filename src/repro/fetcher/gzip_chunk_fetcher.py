@@ -20,9 +20,10 @@ chosen at construction:
 from __future__ import annotations
 
 import threading
+from concurrent.futures import CancelledError
 
 from .. import faults
-from ..cache import FetchNextAdaptive, LRUCache
+from ..cache import FetchNextAdaptive, LRUCache, MemoryGovernor, parse_size
 from ..deflate.kernels import resolve_decoder
 from ..errors import (
     ChunkDecodeError,
@@ -59,6 +60,15 @@ __all__ = ["GzipChunkFetcher", "DEFAULT_CHUNK_SIZE"]
 #: Default compressed chunk size (paper default: 4 MiB).
 DEFAULT_CHUNK_SIZE = 4 * 1024 * 1024
 
+#: Floor for the per-chunk decompressed-split ceiling under a budget —
+#: splitting below this would fragment ordinary chunks for no benefit.
+MIN_SPLIT_OUTPUT = 1024 * 1024
+
+
+def _result_nbytes(result) -> int:
+    """Resident bytes of a cached ChunkResult (the cache sizer)."""
+    return result.payload.nbytes
+
 
 class GzipChunkFetcher:
     """Parallel, speculatively prefetching chunk source for one gzip file."""
@@ -80,6 +90,8 @@ class GzipChunkFetcher:
         chunk_timeout: float = None,
         telemetry: Telemetry = None,
         decoder: str = None,
+        max_memory=None,
+        governor: MemoryGovernor = None,
     ):
         if parallelization < 1:
             raise UsageError("parallelization must be at least 1")
@@ -100,6 +112,23 @@ class GzipChunkFetcher:
         # fails at construction, not in a worker).
         self.decoder = resolve_decoder(decoder)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+        # Memory governance: a shared governor (usually handed down by the
+        # reader so its materialized-bytes cache shares the same budget)
+        # or one built here from ``max_memory``. Without either, all byte
+        # accounting stays dormant and behavior is exactly as before.
+        if governor is None and max_memory is not None:
+            governor = MemoryGovernor(
+                parse_size(max_memory), telemetry=self.telemetry
+            )
+        self.governor = governor
+        budget = governor.budget if governor is not None else None
+        # Per-chunk decompressed ceiling: workers stop at a Deflate block
+        # boundary past this and return a resumable partial result, so one
+        # high-ratio chunk can never hold more than ~a budget share.
+        self.chunk_split_size = (
+            max(budget // 8, MIN_SPLIT_OUTPUT) if budget else None
+        )
 
         # Mode detection must precede pool creation: backend="auto" picks
         # processes only for the GIL-bound search mode, and a process
@@ -142,10 +171,25 @@ class GzipChunkFetcher:
         self._retired_pools: list = []  # shut-down pools kept for reaping
         self._backend_failures = 0  # consecutive crash/timeout observations
         capacity = prefetch_cache_size or max(2 * parallelization, 2)
-        self.prefetch_cache = LRUCache(capacity)
-        self.access_cache = LRUCache(max(parallelization // 4, 1))
+        sizing = {}
+        if governor is not None:
+            sizing = {"sizer": _result_nbytes, "governor": governor}
+        self.prefetch_cache = LRUCache(
+            capacity,
+            max_bytes=budget // 4 if budget else None,
+            account="prefetch_cache" if governor is not None else None,
+            **sizing,
+        )
+        self.access_cache = LRUCache(
+            max(parallelization // 4, 1),
+            max_bytes=budget // 8 if budget else None,
+            account="access_cache" if governor is not None else None,
+            **sizing,
+        )
         self._futures: dict = {}  # chunk id -> Future[ChunkResult | None]
         self._id_of_key: dict = {}  # cached start_bit -> chunk id
+        self._keys_of_id: dict = {}  # chunk id -> set of cached start_bits
+        self._inflight_charge: dict = {}  # chunk id -> reserved bytes
         self._no_candidate: set = set()  # chunk ids with nothing decodable
         self._history: list = []  # recently accessed chunk ids
         self._lock = threading.RLock()
@@ -163,6 +207,8 @@ class GzipChunkFetcher:
         self._worker_crashes = metrics.counter("fetcher.worker_crashes")
         self._task_errors = metrics.counter("fetcher.task_errors")
         self._backend_downgrades = metrics.counter("fetcher.backend_downgrades")
+        self._chunk_splits = metrics.counter("fetcher.chunk_splits")
+        self._speculative_shed = metrics.counter("fetcher.speculative_shed")
         metrics.probe(
             "cache.prefetch", lambda: self.prefetch_cache.statistics.as_dict()
         )
@@ -227,6 +273,7 @@ class GzipChunkFetcher:
                 self.chunk_size,
                 find_uncompressed=self.find_uncompressed,
                 max_output=self.max_chunk_output,
+                split_output=self.chunk_split_size,
                 telemetry=self.telemetry,
                 decoder=self.decoder,
             )
@@ -291,6 +338,7 @@ class GzipChunkFetcher:
             spec.chunk_size = self.chunk_size
             spec.find_uncompressed = self.find_uncompressed
             spec.max_output = self.max_chunk_output
+            spec.split_output = self.chunk_split_size
             if exact is not None:
                 spec.exact = True
                 spec.start_bit, spec.window = exact
@@ -337,9 +385,21 @@ class GzipChunkFetcher:
             recorder = self.telemetry.recorder
             for chunk_id, future in finished:
                 del self._futures[chunk_id]
+                reserved = self._inflight_charge.pop(chunk_id, 0)
+                if reserved and self.governor is not None:
+                    self.governor.discharge("in_flight", reserved)
                 crashed = False
                 try:
                     result = self._absorb(future.result())
+                except CancelledError:
+                    # Shed under memory pressure before any worker ran it.
+                    # Says nothing about decodability: stay eligible for
+                    # resubmission once the budget has headroom again.
+                    if recorder.enabled:
+                        recorder.instant(
+                            "chunk.speculative_shed", chunk_id=chunk_id
+                        )
+                    continue
                 except FormatError as error:
                     # Thread-backend speculative reject (process workers
                     # fold theirs child-side): counted + traced, with the
@@ -376,10 +436,40 @@ class GzipChunkFetcher:
                         self._no_candidate.add(chunk_id)
                     self._speculative_unusable.increment()
                     continue
+                if result.split:
+                    self._chunk_splits.increment()
                 self.prefetch_cache.insert(result.start_bit, result)
-                self._id_of_key[result.start_bit] = chunk_id
+                self._remember_key(result.start_bit, chunk_id)
 
-    def _submit(self, chunk_id: int) -> None:
+    def _remember_key(self, start_bit: int, chunk_id: int) -> None:
+        """Record a cached start_bit under its chunk id (both directions).
+
+        The reverse map makes the prefetch wish-check O(keys of one id)
+        instead of a scan over every key ever cached — and, unlike the
+        former scan over ``_id_of_key`` + membership probes, it is paired
+        with the non-perturbing ``peek`` path so checking a wish never
+        touches LRU recency or the hit/miss statistics.
+        """
+        self._id_of_key[start_bit] = chunk_id
+        self._keys_of_id.setdefault(chunk_id, set()).add(start_bit)
+
+    def _inflight_estimate(self, chunk_id: int) -> int:
+        """Conservative resident-byte reservation for one in-flight decode.
+
+        Search mode is bounded by the split ceiling (marker symbols are
+        2 bytes each); index chunks have a known decompressed size; BGZF
+        groups assume a generous 4x compression ratio.
+        """
+        if self.mode == "search":
+            return 2 * self.chunk_split_size
+        if self.mode == "index":
+            _point, _end, expected, _last = self._index_bounds(chunk_id)
+            return max(expected, 1)
+        members, end = self._bgzf_groups[chunk_id]
+        return max(4 * (end - members[0]), 1)
+
+    def _submit(self, chunk_id: int) -> bool:
+        """Submit a speculative decode; False only on a budget refusal."""
         with self._lock:
             if (
                 self.backend == "serial"
@@ -388,18 +478,46 @@ class GzipChunkFetcher:
                 or chunk_id < 0
                 or chunk_id >= self.num_chunk_ids
             ):
-                return
+                return True
+            reserved = 0
+            if self.governor is not None and self.governor.budget:
+                reserved = self._inflight_estimate(chunk_id)
+                # Headroom keeps room for one mandatory on-demand decode,
+                # so speculation can never starve the consumer's read.
+                if not self.governor.try_reserve(
+                    "in_flight", reserved, headroom=2 * self.chunk_split_size
+                    if self.mode == "search" else reserved,
+                ):
+                    return False
             self._speculative_submitted.increment()
             if self.backend == "processes":
-                self._futures[chunk_id] = self.pool.submit(
+                future = self.pool.submit(
                     execute_chunk_task, self._spec_for_id(chunk_id),
                     priority=PRIORITY_PREFETCH,
                 )
             else:
-                self._futures[chunk_id] = self.pool.submit(
+                future = self.pool.submit(
                     self._run_chunk_task, chunk_id, "speculative",
                     priority=PRIORITY_PREFETCH,
                 )
+            self._futures[chunk_id] = future
+            if reserved:
+                self._inflight_charge[chunk_id] = reserved
+            return True
+
+    def _shed_speculation(self) -> int:
+        """Cancel queued speculative work to free budget reservations.
+
+        Cancelled futures complete immediately, so a follow-up harvest
+        discharges their in-flight reservations synchronously.
+        """
+        shed = self.pool.shed(PRIORITY_PREFETCH) if hasattr(
+            self.pool, "shed"
+        ) else 0
+        if shed:
+            self._speculative_shed.increment(shed)
+            self._harvest()
+        return shed
 
     def _trigger_prefetch(self, accessed_id: int) -> None:
         self._history.append(accessed_id)
@@ -407,16 +525,19 @@ class GzipChunkFetcher:
             del self._history[:-64]
         wishes = self.strategy.prefetch(self._history, self.parallelization)
         for wish in wishes:
-            cached_key = None
-            for key, known_id in self._id_of_key.items():
-                if known_id == wish:
-                    cached_key = key
-                    break
-            if cached_key is not None and (
-                cached_key in self.prefetch_cache or cached_key in self.access_cache
-            ):
+            cached = any(
+                self.prefetch_cache.peek(key) is not None
+                or self.access_cache.peek(key) is not None
+                for key in self._keys_of_id.get(wish, ())
+            )
+            if cached:
                 continue
-            self._submit(wish)
+            if not self._submit(wish):
+                # Over budget: shed queued speculation instead of piling
+                # more on, and stop walking the wish list — later wishes
+                # would only hit the same refusal.
+                self._shed_speculation()
+                break
 
     # -- public API -----------------------------------------------------------------
 
@@ -458,8 +579,10 @@ class GzipChunkFetcher:
                     self.access_cache.insert(start_bit, result)
         if result is None:
             result = self._produce_chunk(start_bit, chunk_id, window)
+            if result.split:
+                self._chunk_splits.increment()
             self.access_cache.insert(start_bit, result)
-            self._id_of_key[start_bit] = chunk_id
+            self._remember_key(start_bit, chunk_id)
         self._trigger_prefetch(chunk_id)
         return result
 
@@ -473,7 +596,27 @@ class GzipChunkFetcher:
         priority — process backend only, where a fresh worker can succeed
         after a crash/stall), then a serial in-process decode, then a
         structured :class:`ChunkDecodeError` carrying the full context.
+
+        Under a memory budget the decode is *mandatory* — the consumer is
+        blocked on it — so it reserves its worst case with the blocking
+        :meth:`MemoryGovernor.reserve` (shedding queued speculation first
+        to drain reservations), never with the refusable ``try_reserve``.
         """
+        if self.governor is not None and self.governor.budget:
+            reserved = self._inflight_estimate(chunk_id)
+            if not self.governor.try_reserve("on_demand", reserved):
+                self._shed_speculation()
+                self.governor.reserve("on_demand", reserved)
+            try:
+                return self._produce_chunk_unbudgeted(
+                    start_bit, chunk_id, window
+                )
+            finally:
+                self.governor.discharge("on_demand", reserved)
+        return self._produce_chunk_unbudgeted(start_bit, chunk_id, window)
+
+    def _produce_chunk_unbudgeted(self, start_bit: int, chunk_id: int,
+                                  window: bytes):
         recorder = self.telemetry.recorder
         attempt = 0
         while self.backend == "processes" and attempt < self.max_retries:
@@ -583,6 +726,7 @@ class GzipChunkFetcher:
                     stop_bit,
                     window,
                     max_output=self.max_chunk_output,
+                    split_output=self.chunk_split_size,
                     decoder=self.decoder,
                 )
         return self._run_chunk_task(chunk_id, "on_demand", attempt=attempt)
@@ -603,10 +747,17 @@ class GzipChunkFetcher:
 
     def statistics(self) -> dict:
         """Plain-dict snapshot (no live mutable objects leak out)."""
+        memory = (
+            self.governor.snapshot() if self.governor is not None else None
+        )
         return {
             "mode": self.mode,
             "backend": self.backend,
             "decoder": self.decoder,
+            "memory": memory,
+            "chunk_split_size": self.chunk_split_size,
+            "chunk_splits": self._chunk_splits.value,
+            "speculative_shed": self._speculative_shed.value,
             "prefetch_cache": self.prefetch_cache.statistics.as_dict(),
             "access_cache": self.access_cache.statistics.as_dict(),
             "speculative_submitted": self.speculative_submitted,

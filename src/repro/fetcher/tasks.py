@@ -139,6 +139,9 @@ class ChunkTaskSpec:
     chunk_size: int = 0
     find_uncompressed: bool = True
     max_output: int = None
+    # per-chunk decompressed ceiling (memory budget): decode stops at a
+    # block boundary past this and returns a resumable partial result
+    split_output: int = None
     # index mode
     start_bit: int = 0
     end_bit: int = None
@@ -229,6 +232,7 @@ def _decode_for_spec(spec: ChunkTaskSpec, reader, telemetry) -> ChunkResult:
                 spec.end_bit,
                 spec.window,
                 max_output=spec.max_output,
+                split_output=spec.split_output,
                 decoder=spec.decoder,
             )
         return speculative_decode(
@@ -237,6 +241,7 @@ def _decode_for_spec(spec: ChunkTaskSpec, reader, telemetry) -> ChunkResult:
             spec.chunk_size,
             find_uncompressed=spec.find_uncompressed,
             max_output=spec.max_output,
+            split_output=spec.split_output,
             telemetry=telemetry,
             decoder=spec.decoder,
         )

@@ -179,6 +179,7 @@ class ProcessPool:
         self.tasks_completed = 0
         self.tasks_cancelled = 0
         self._tasks_dispatched = 0
+        self._queued_records: dict = {}  # task_id -> undispatched _TaskRecord
         self._busy_seconds: dict = {}
         metrics = self._telemetry.metrics
         self._queue_wait = metrics.histogram("pool.queue_wait_seconds")
@@ -241,9 +242,33 @@ class ProcessPool:
             next(self._task_ids), future, priority, time.perf_counter(),
             function, args, kwargs,
         )
+        with self._lock:
+            self._queued_records[record.task_id] = record
         self._queue.put((priority, next(self._sequence), record))
         self._wake()
         return future
+
+    def shed(self, min_priority: int = PRIORITY_PREFETCH) -> int:
+        """Cancel still-queued tasks at ``min_priority`` or lower urgency.
+
+        Mirrors :meth:`ThreadPool.shed`: the memory governor's
+        load-shedding hook. Cancelled futures stay in the priority queue
+        and are discarded (never dispatched) when the dispatcher pops
+        them. Dispatched and requeued-after-crash tasks are never shed.
+        Returns the number of tasks newly cancelled.
+        """
+        with self._lock:
+            queued = [
+                record for record in self._queued_records.values()
+                if record.priority >= min_priority
+            ]
+        shed = 0
+        for record in queued:
+            if record.future.cancel():
+                shed += 1
+        if shed:
+            self._wake()  # let the dispatcher reap the cancelled entries
+        return shed
 
     def _wake(self) -> None:
         try:
@@ -348,6 +373,8 @@ class ProcessPool:
                 _priority, _seq, record = self._queue.get_nowait()
             except queue.Empty:
                 return
+            with self._lock:
+                self._queued_records.pop(record.task_id, None)
             if not record.started:
                 if not record.future.set_running_or_notify_cancel():
                     with self._lock:
@@ -499,6 +526,13 @@ class ProcessPool:
                 _priority, _seq, record = self._queue.get_nowait()
             except queue.Empty:
                 return
+            with self._lock:
+                self._queued_records.pop(record.task_id, None)
+            if not record.started and not record.future.set_running_or_notify_cancel():
+                # Already cancelled (e.g. shed under memory pressure).
+                with self._lock:
+                    self.tasks_cancelled += 1
+                continue
             with self._lock:
                 self.tasks_completed += 1
             record.future.set_exception(

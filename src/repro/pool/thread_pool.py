@@ -49,6 +49,7 @@ class ThreadPool:
         self.tasks_completed = 0
         self.tasks_cancelled = 0
         self._tasks_dequeued = 0
+        self._queued_futures: dict = {}  # sequence -> (priority, future)
         self._busy_seconds: dict = {}
         metrics = self._telemetry.metrics
         self._queue_wait = metrics.histogram("pool.queue_wait_seconds")
@@ -71,11 +72,35 @@ class ThreadPool:
                 raise UsageError("submit on a shut-down ThreadPool")
             self.tasks_submitted += 1
         future: Future = Future()
+        sequence = next(self._sequence)
+        with self._lock:
+            self._queued_futures[sequence] = (priority, future)
         self._queue.put(
-            (priority, next(self._sequence), future, function, args, kwargs,
+            (priority, sequence, future, function, args, kwargs,
              time.perf_counter())
         )
         return future
+
+    def shed(self, min_priority: int = PRIORITY_PREFETCH) -> int:
+        """Cancel still-queued tasks at ``min_priority`` or lower urgency.
+
+        The memory governor's load-shedding hook: when charged bytes
+        exceed the budget, queued *speculative* work (priority >=
+        ``min_priority``; on-demand decodes sort before it) is cancelled
+        before any worker picks it up. Running tasks are never touched.
+        Returns the number of tasks newly cancelled.
+        """
+        with self._lock:
+            queued = [
+                (sequence, future)
+                for sequence, (priority, future) in self._queued_futures.items()
+                if priority >= min_priority
+            ]
+        shed = 0
+        for sequence, future in queued:
+            if future.cancel():
+                shed += 1
+        return shed
 
     def _worker_loop(self) -> None:
         recorder = self._telemetry.recorder
@@ -83,13 +108,14 @@ class ThreadPool:
         recorder.set_thread_name(worker_name)
         while True:
             item = self._queue.get()
-            priority, _seq, future, function, args, kwargs, submitted = item
+            priority, sequence, future, function, args, kwargs, submitted = item
             if future is None:  # shutdown sentinel, sorted after real work
                 self._queue.task_done()
                 return
             dequeued = time.perf_counter()
             with self._lock:
                 self._tasks_dequeued += 1
+                self._queued_futures.pop(sequence, None)
             self._queue_wait.observe(dequeued - submitted)
             if recorder.enabled:
                 recorder.complete(

@@ -17,11 +17,12 @@ Design goals implemented from the paper:
 from __future__ import annotations
 
 import io
+import os
 import threading
 import time
 
 from ..blockfinder.pugz import PUGZ_MAX_BYTE, PUGZ_MIN_BYTE
-from ..cache import LRUCache
+from ..cache import LRUCache, MemoryGovernor, SpillStore, parse_size
 from ..errors import (
     ChunkDecodeError,
     FormatError,
@@ -67,8 +68,24 @@ class ParallelGzipReader:
         trace: bool = False,
         telemetry: Telemetry = None,
         decoder: str = None,
+        max_memory=None,
+        spill_dir=None,
     ):
         """Open a gzip file for parallel reading.
+
+        ``max_memory`` caps the resident decompressed bytes the whole
+        pipeline may hold at once (prefetch cache, access cache, the
+        reader's materialized-bytes cache, and in-flight speculative
+        decodes). Accepts a byte count or a size string (``"64MiB"``,
+        ``"1.5G"``). Under the cap the prefetcher stops submitting (and
+        sheds queued) speculation, workers split oversized chunks at
+        Deflate block boundaries, and chunks evicted from the
+        materialized cache spill to disk so backward seeks into them
+        stay cheap. ``spill_dir`` picks the spill directory (a private
+        temp directory by default); setting it without ``max_memory``
+        enables the spill tier alone. When ``max_memory`` is ``None``,
+        ``$REPRO_MAX_MEMORY`` supplies the default (useful to replay an
+        entire test suite under a budget).
 
         ``seek_point_spacing`` caps the *decompressed* distance between
         seek points: chunks whose output exceeds it contribute extra seek
@@ -126,6 +143,22 @@ class ParallelGzipReader:
         if index is not None and not index.finalized:
             raise UsageError("only finalized indexes can be imported")
 
+        # One governor spans the whole pipeline: the fetcher's caches and
+        # in-flight reservations and this reader's materialized bytes all
+        # charge the same budget. $REPRO_MAX_MEMORY supplies a default so
+        # whole test suites can be replayed under a budget unmodified.
+        if max_memory is None:
+            max_memory = os.environ.get("REPRO_MAX_MEMORY") or None
+        self._governor = (
+            MemoryGovernor(parse_size(max_memory), telemetry=self.telemetry)
+            if max_memory is not None else None
+        )
+        budget = self._governor.budget if self._governor is not None else None
+        self._spill = (
+            SpillStore(spill_dir, telemetry=self.telemetry)
+            if spill_dir is not None or budget else None
+        )
+
         def build_fetcher(allow_bgzf: bool) -> GzipChunkFetcher:
             return GzipChunkFetcher(
                 self._file_reader,
@@ -140,6 +173,7 @@ class ParallelGzipReader:
                 chunk_timeout=chunk_timeout,
                 telemetry=self.telemetry,
                 decoder=decoder,
+                governor=self._governor,
             )
 
         try:
@@ -153,7 +187,19 @@ class ParallelGzipReader:
             self._fetcher = build_fetcher(False)
 
         self._block_map = BlockMap()
-        self._materialized = LRUCache(max(4, parallelization // 2))
+        sizing = {}
+        if self._governor is not None:
+            sizing = {
+                "sizer": len,
+                "governor": self._governor,
+                "account": "materialized",
+            }
+        self._materialized = LRUCache(
+            max(4, parallelization // 2),
+            max_bytes=budget // 8 if budget else None,
+            on_evict=self._spill_evicted if self._spill is not None else None,
+            **sizing,
+        )
 
         # CRC verification state for in-order consumption.
         self._running_crc = 0
@@ -533,12 +579,30 @@ class ParallelGzipReader:
         while self._frontier is not None and self._block_map.known_size <= offset:
             self._decode_next_chunk()
 
+    def _spill_evicted(self, key, data) -> None:
+        """Eviction hook: park evicted chunk bytes in the spill tier.
+
+        Damaged-region bytes are already pinned in ``_damaged_data`` (and
+        could not be re-decoded anyway), so they never spill.
+        """
+        if key in self._damaged_data:
+            return
+        self._spill.put(key, data)
+
     def _chunk_bytes(self, record: ChunkRecord) -> bytes:
         data = self._materialized.get(record.start_bit)
         if data is None:
             # Tolerant resync segments are pinned: the fetcher cannot
             # re-materialize them (its decode fails at that offset).
             data = self._damaged_data.get(record.start_bit)
+            if data is not None:
+                self._materialized.insert(record.start_bit, data)
+                return data
+        if data is None and self._spill is not None:
+            # Spill tier: CRC-verified reload of a previously evicted
+            # chunk; a corrupt or missing spill file falls through to a
+            # fresh decode below.
+            data = self._spill.get(record.start_bit)
             if data is not None:
                 self._materialized.insert(record.start_bit, data)
                 return data
@@ -750,6 +814,10 @@ class ParallelGzipReader:
         stats["known_size"] = self._block_map.known_size
         stats["read_calls"] = self._read_calls.value
         stats["damaged_regions"] = len(self._damage.regions)
+        stats["materialized_cache"] = self._materialized.statistics.as_dict()
+        stats["spill"] = (
+            self._spill.statistics() if self._spill is not None else None
+        )
         stats["metrics"] = self.telemetry.metrics.as_dict()
         return stats
 
@@ -769,6 +837,8 @@ class ParallelGzipReader:
         with self._lock:
             if not self._closed:
                 self._fetcher.close()
+                if self._spill is not None:
+                    self._spill.close()
                 self._closed = True
 
     @property

@@ -134,6 +134,40 @@ def format_profile(statistics: dict, *, wall_time: float = None,
         if summary and summary.get("count"):
             info(_histogram_line(label, summary))
 
+    # Memory governance: only reported when a governor was attached — an
+    # unbudgeted run keeps its profile unchanged.
+    memory = statistics.get("memory")
+    if memory:
+        from ..cache import format_size
+
+        budget = memory.get("budget_bytes")
+        info(
+            f"{'Memory budget':<28}: {format_size(budget)} budget, "
+            f"peak charged {format_size(memory.get('high_water_bytes', 0))}, "
+            f"{memory.get('backpressure_stalls', 0)} backpressure stall(s), "
+            f"{memory.get('overcommits', 0)} overcommit(s)"
+        )
+        splits = statistics.get("chunk_splits", 0)
+        shed = statistics.get("speculative_shed", 0)
+        split_size = statistics.get("chunk_split_size")
+        if splits or shed or split_size:
+            info(
+                f"{'Budget pressure':<28}: {splits} chunk split(s) at a "
+                f"{format_size(split_size)} ceiling, "
+                f"{shed} speculative task(s) shed"
+            )
+    spill = statistics.get("spill")
+    if spill and (spill.get("writes") or spill.get("hits")
+                  or spill.get("misses")):
+        from ..cache import format_size
+
+        info(
+            f"{'Spill tier':<28}: {spill.get('writes', 0)} chunk(s) "
+            f"spilled ({format_size(spill.get('bytes_written', 0))}), "
+            f"{spill.get('hits', 0)} hit(s) / {spill.get('misses', 0)} "
+            f"miss(es), {spill.get('corrupt', 0)} corrupt reload(s)"
+        )
+
     # Resilience: only reported when something actually went wrong — a
     # clean run keeps its profile unchanged.
     crashes = pool.get("worker_crashes", 0)

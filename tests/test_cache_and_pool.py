@@ -193,3 +193,132 @@ class TestThreadPool:
     def test_size_validation(self):
         with pytest.raises(UsageError):
             ThreadPool(0)
+
+
+class TestLRUMembershipPaths:
+    """Membership/scan paths must not perturb recency or statistics.
+
+    The fetcher's prefetch wish-check probes both caches on every access;
+    if those probes refreshed recency or counted as lookups, prefetch
+    traffic would age out data the consumer is about to re-read and
+    inflate the reported hit rates.
+    """
+
+    def test_contains_does_not_touch_recency(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        assert "a" in cache  # must NOT refresh a
+        cache.insert("c", 3)  # a is still LRU -> evicted
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_contains_peek_keys_do_not_touch_statistics(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        assert "a" in cache
+        assert "missing" not in cache
+        cache.peek("a")
+        cache.peek("missing")
+        cache.keys()
+        stats = cache.statistics
+        assert stats.hits == 0
+        assert stats.misses == 0
+
+    def test_keys_does_not_touch_recency(self):
+        cache = LRUCache(2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        assert cache.keys() == ["a", "b"]
+        cache.insert("c", 3)  # a unrefreshed -> evicted
+        assert "a" not in cache
+
+
+class TestLRUByteAccounting:
+    def test_byte_capacity_eviction(self):
+        cache = LRUCache(10, max_bytes=100, sizer=len)
+        cache.insert("a", b"x" * 60)
+        cache.insert("b", b"y" * 60)  # 120 > 100 -> evict a
+        assert "a" not in cache and "b" in cache
+        assert cache.current_bytes == 60
+        assert cache.statistics.bytes_evicted == 60
+
+    def test_sole_oversized_entry_survives(self):
+        cache = LRUCache(10, max_bytes=100, sizer=len)
+        cache.insert("big", b"z" * 500)
+        assert "big" in cache  # never evict the sole newest entry
+        assert cache.current_bytes == 500
+
+    def test_replacement_swaps_charge(self):
+        cache = LRUCache(10, max_bytes=1000, sizer=len)
+        cache.insert("a", b"x" * 100)
+        cache.insert("a", b"y" * 30)
+        assert cache.current_bytes == 30
+
+    def test_pop_and_clear_discharge(self):
+        cache = LRUCache(10, max_bytes=1000, sizer=len)
+        cache.insert("a", b"x" * 100)
+        cache.insert("b", b"y" * 50)
+        cache.pop("a")
+        assert cache.current_bytes == 50
+        cache.clear()
+        assert cache.current_bytes == 0
+
+    def test_on_evict_hook_fires_for_capacity_evictions_only(self):
+        evicted = []
+        cache = LRUCache(
+            10, max_bytes=100, sizer=len,
+            on_evict=lambda key, value: evicted.append(key),
+        )
+        cache.insert("a", b"x" * 60)
+        cache.insert("b", b"y" * 60)  # evicts a -> hook
+        cache.pop("b")  # no hook
+        cache.insert("c", b"z" * 10)
+        cache.clear()  # no hook
+        assert evicted == ["a"]
+
+    def test_max_bytes_requires_sizer(self):
+        with pytest.raises(UsageError):
+            LRUCache(2, max_bytes=100)
+
+
+class TestThreadPoolShed:
+    def test_shed_cancels_queued_prefetch_not_on_demand(self):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def blocker_task():
+            started.set()
+            gate.wait()
+
+        with ThreadPool(1) as pool:
+            blocker = pool.submit(blocker_task)
+            assert started.wait(timeout=5)  # occupy the sole worker
+            prefetches = [
+                pool.submit(time.sleep, 0, priority=PRIORITY_PREFETCH)
+                for _ in range(3)
+            ]
+            demand = pool.submit(time.sleep, 0, priority=PRIORITY_ON_DEMAND)
+            shed = pool.shed(PRIORITY_PREFETCH)
+            gate.set()
+            pool.shutdown(wait=True)
+        assert shed == 3
+        assert all(future.cancelled() for future in prefetches)
+        assert not demand.cancelled()
+        assert blocker.done()
+
+    def test_shed_does_not_touch_running_tasks(self):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def task():
+            started.set()
+            gate.wait()
+            return "done"
+
+        with ThreadPool(1) as pool:
+            future = pool.submit(task, priority=PRIORITY_PREFETCH)
+            assert started.wait(timeout=5)
+            assert pool.shed(PRIORITY_PREFETCH) == 0
+            gate.set()
+            assert future.result(timeout=5) == "done"
