@@ -1,0 +1,139 @@
+"""Throughput-regression gate against the committed benchmark baseline.
+
+Reruns the decode-kernel measurement from :mod:`bench_decode_kernels`
+(same corpora, same interleaved best-of-N discipline) and compares the
+fresh fused/legacy throughputs against the committed trajectory file
+``BENCH_decode_kernels.json``. Any series more than ``--threshold``
+(default 15%) below its committed value fails the check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --reps 3 --json -
+
+Intended as a non-blocking CI step: shared runners are noisy, so a
+failure is a signal to look at the trajectory, not an automatic revert.
+Exit codes: 0 ok, 1 regression past the threshold, 2 no baseline.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+_HERE = pathlib.Path(__file__).parent
+sys.path.insert(0, str(_HERE))  # conftest, bench_decode_kernels
+
+import bench_decode_kernels as kernels  # noqa: E402
+
+
+def measure(reps: int) -> dict:
+    """Fresh fused/legacy MB/s per ``corpus/mode`` series."""
+    original_reps = kernels.REPS
+    kernels.REPS = reps
+    try:
+        fresh = {}
+        for name, data in kernels._corpora().items():
+            blob = kernels._raw_deflate(data)
+            for mode, decode in (
+                ("conventional", kernels._decode_conventional),
+                ("marker", kernels._decode_marker),
+            ):
+                best = kernels._interleaved_best(decode, blob)
+                fresh[f"{name}/{mode}"] = {
+                    f"{decoder}_mb_s": round(len(data) / seconds / 1e6, 3)
+                    for decoder, seconds in best.items()
+                }
+        return fresh
+    finally:
+        kernels.REPS = original_reps
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> list:
+    """One comparison row per (series, decoder) present in both runs."""
+    rows = []
+    for series, committed in sorted(baseline.get("results", {}).items()):
+        current = fresh.get(series)
+        if current is None:
+            continue
+        for decoder in ("fused", "legacy"):
+            key = f"{decoder}_mb_s"
+            before, after = committed.get(key), current.get(key)
+            if not before or not after:
+                continue
+            change = after / before - 1.0
+            rows.append({
+                "series": f"{series}/{decoder}",
+                "baseline_mb_s": before,
+                "current_mb_s": after,
+                "change": round(change, 4),
+                "regressed": change < -threshold,
+            })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=pathlib.Path,
+        default=kernels.TRAJECTORY_PATH,
+        help="committed BENCH_*.json to compare against",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="fractional slowdown that fails the check (default 0.15)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=kernels.REPS,
+        help="best-of-N repetitions (lower = faster, noisier)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write the comparison as JSON ('-' for stdout)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if not arguments.baseline.exists():
+        print(f"check_regression: no baseline at {arguments.baseline}",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(arguments.baseline.read_text())
+
+    print(f"check_regression: measuring (best-of-{arguments.reps}, "
+          f"{baseline.get('corpus_size', 0) >> 20} MiB corpora)...")
+    fresh = measure(arguments.reps)
+    rows = compare(baseline, fresh, arguments.threshold)
+
+    width = max((len(row["series"]) for row in rows), default=10)
+    for row in rows:
+        flag = "REGRESSED" if row["regressed"] else "ok"
+        print(f"  {row['series']:<{width}}  "
+              f"{row['baseline_mb_s']:8.2f} -> {row['current_mb_s']:8.2f} MB/s "
+              f"({row['change']:+7.1%})  {flag}")
+
+    regressed = [row for row in rows if row["regressed"]]
+    verdict = {
+        "schema": 1,
+        "baseline": str(arguments.baseline),
+        "threshold": arguments.threshold,
+        "series": rows,
+        "regressed": [row["series"] for row in regressed],
+    }
+    if arguments.json:
+        text = json.dumps(verdict, indent=2, sort_keys=True) + "\n"
+        if arguments.json == "-":
+            sys.stdout.write(text)
+        else:
+            pathlib.Path(arguments.json).write_text(text)
+
+    if regressed:
+        print(f"check_regression: {len(regressed)} series regressed more "
+              f"than {arguments.threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"check_regression: all {len(rows)} series within "
+          f"{arguments.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,7 @@ class MemoryGovernor:
         self._high_water = 0
         self.stalls = 0  # speculative reservations refused
         self.overcommits = 0  # mandatory charges forced past the budget
+        self._telemetry = telemetry
         if telemetry is not None:
             metrics = telemetry.metrics
             metrics.probe("memory.charged_bytes", lambda: self.charged)
@@ -203,10 +204,24 @@ class MemoryGovernor:
         enforced for speculation but only *pursued* for mandatory decodes.
         Forced charges past the budget are counted in ``overcommits``.
         """
+        recorder = (
+            self._telemetry.recorder if self._telemetry is not None else None
+        )
         with self._condition:
-            fitted = self._condition.wait_for(
-                lambda: self._fits(nbytes, 0), timeout=timeout
-            )
+            if self._fits(nbytes, 0):
+                fitted = True
+            elif recorder is not None and recorder.enabled:
+                # The blocked wait is the pipeline's backpressure stall —
+                # spanned so --explain can attribute read latency to it.
+                with recorder.span("memory.stall", account=account,
+                                   nbytes=nbytes):
+                    fitted = self._condition.wait_for(
+                        lambda: self._fits(nbytes, 0), timeout=timeout
+                    )
+            else:
+                fitted = self._condition.wait_for(
+                    lambda: self._fits(nbytes, 0), timeout=timeout
+                )
             if not fitted:
                 self.overcommits += 1
             self._accounts[account] = self._accounts.get(account, 0) + nbytes

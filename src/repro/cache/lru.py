@@ -198,6 +198,17 @@ class LRUCache:
             self._sizes.clear()
             self.current_bytes = 0
 
+    def snapshot(self) -> dict:
+        """Statistics plus live occupancy (entries and resident bytes) —
+        the shape the ``/metrics`` exporter and ``statistics()`` expose."""
+        with self._lock:
+            snapshot = self.statistics.as_dict()
+            snapshot["entries"] = len(self._entries)
+            snapshot["capacity"] = self.capacity
+            snapshot["current_bytes"] = self.current_bytes
+            snapshot["peak_bytes"] = self.peak_bytes
+            return snapshot
+
     def __contains__(self, key) -> bool:
         with self._lock:
             return key in self._entries

@@ -59,6 +59,7 @@ class SpillStore:
         self.writes = 0
         self.refused = 0  # writes refused by the disk ceiling
         self.corrupt = 0  # CRC/format failures on reload
+        self._recorder = telemetry.recorder if telemetry is not None else None
         if telemetry is not None:
             metrics = telemetry.metrics
             metrics.probe("spill.hits", lambda: self.hits)
@@ -66,6 +67,8 @@ class SpillStore:
             metrics.probe("spill.writes", lambda: self.writes)
             metrics.probe("spill.bytes_written", lambda: self.bytes_written)
             metrics.probe("spill.corrupt", lambda: self.corrupt)
+            metrics.probe("spill.refused", lambda: self.refused)
+            metrics.probe("spill.entries", lambda: len(self))
 
     def _path(self, key: int) -> str:
         return os.path.join(self.directory, f"{key}.spill")
@@ -74,6 +77,13 @@ class SpillStore:
 
     def put(self, key: int, data: bytes) -> bool:
         """Write one chunk; returns False when refused (closed/full/IO)."""
+        if self._recorder is not None and self._recorder.enabled:
+            with self._recorder.span("spill.write", bit=key,
+                                     nbytes=len(data)):
+                return self._put(key, data)
+        return self._put(key, data)
+
+    def _put(self, key: int, data: bytes) -> bool:
         with self._lock:
             if self._closed:
                 return False
@@ -103,6 +113,12 @@ class SpillStore:
     def get(self, key: int):
         """Reload one chunk, or None on miss/corruption (fall back to
         re-decoding — spilled data is disposable by design)."""
+        if self._recorder is not None and self._recorder.enabled:
+            with self._recorder.span("spill.read", bit=key):
+                return self._get(key)
+        return self._get(key)
+
+    def _get(self, key: int):
         with self._lock:
             if self._closed or key not in self._files:
                 self.misses += 1

@@ -180,7 +180,47 @@ def build_parser() -> argparse.ArgumentParser:
     observability.add_argument(
         "--stats",
         action="store_true",
-        help="print the full statistics/metrics snapshot as JSON to stderr",
+        help="print the full statistics/metrics snapshot as "
+        "schema-versioned, key-sorted JSON to stderr",
+    )
+    observability.add_argument(
+        "--events",
+        metavar="FILE",
+        help="record the per-chunk lifecycle event log (queued -> "
+        "block-find -> decode -> wait-window -> markers-replaced -> "
+        "cached -> evicted/spilled -> served) and write it as JSON Lines",
+    )
+    observability.add_argument(
+        "--explain",
+        action="store_true",
+        help="attribute each read()'s wall time across pipeline stages "
+        "(block-find, queue wait, decode, window propagation, "
+        "backpressure, spill I/O) and print the bottleneck report to "
+        "stderr; implies tracing and event logging for this run",
+    )
+    observability.add_argument(
+        "--explain-json",
+        metavar="FILE",
+        help="write the machine-readable --explain report as JSON "
+        "(implies --explain's instrumentation)",
+    )
+    observability.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live telemetry over HTTP on 127.0.0.1:PORT while the "
+        "run lasts: /metrics (Prometheus text format), /stats (JSON), "
+        "/series (periodic samples), /healthz; 0 picks an ephemeral "
+        "port (printed to stderr)",
+    )
+    observability.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sampling interval of the /series time-series capture "
+        "(default: 1.0)",
     )
     return parser
 
@@ -294,6 +334,7 @@ def _dispatch(arguments) -> int:
         index = GzipIndex.load(arguments.import_index)
 
     source = _read_input(arguments.file) if arguments.file == "-" else arguments.file
+    explain = bool(arguments.explain or arguments.explain_json)
     started = time.perf_counter()
     reader = ParallelGzipReader(
         source,
@@ -305,11 +346,20 @@ def _dispatch(arguments) -> int:
         tolerate_corruption=arguments.tolerate_corruption,
         max_retries=arguments.max_retries,
         chunk_timeout=arguments.chunk_timeout,
-        trace=bool(arguments.trace),
+        trace=bool(arguments.trace) or explain,
+        events=bool(arguments.events) or explain,
         decoder=arguments.decoder,
         max_memory=arguments.max_memory,
         spill_dir=arguments.spill_dir,
+        metrics_port=arguments.metrics_port,
+        metrics_interval=arguments.metrics_interval,
     )
+    if reader.metrics_url is not None:
+        print(
+            f"rapidgzip-py: serving live telemetry at {reader.metrics_url} "
+            f"(/metrics /stats /series /healthz)",
+            file=sys.stderr,
+        )
     try:
         if arguments.export_index:
             reader.export_index(arguments.export_index)
@@ -359,6 +409,19 @@ def _report_observability(arguments, reader, wall_time: float) -> None:
         )
     if arguments.trace:
         reader.save_trace(arguments.trace)
+    if arguments.events:
+        reader.save_events(arguments.events)
+    if arguments.explain or arguments.explain_json:
+        from .telemetry import format_explain
+
+        report = reader.explain()
+        if arguments.explain:
+            for line in format_explain(report):
+                print(line, file=sys.stderr)
+        if arguments.explain_json:
+            with open(arguments.explain_json, "w", encoding="utf-8") as sink:
+                json.dump(report, sink, indent=2, sort_keys=True, default=str)
+                sink.write("\n")
     show_profile = arguments.profile == "__report__" and not arguments.compress
     if show_profile or arguments.stats:
         statistics = reader.statistics()
@@ -368,7 +431,10 @@ def _report_observability(arguments, reader, wall_time: float) -> None:
             for line in format_profile(statistics, wall_time=wall_time):
                 print(line, file=sys.stderr)
         if arguments.stats:
-            print(json.dumps(statistics, indent=2, default=str), file=sys.stderr)
+            print(
+                json.dumps(statistics, indent=2, sort_keys=True, default=str),
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":

@@ -246,16 +246,22 @@ def speculative_decode(
     per-filter-stage rejections, and decode-attempt false positives.
     """
     recorder = telemetry.recorder if telemetry is not None else None
+    lifecycle = telemetry.events if telemetry is not None else None
     search_from = chunk_index * chunk_size * 8
     stop_bit = (chunk_index + 1) * chunk_size * 8
     finder = CombinedBlockFinder(
         file_reader.clone(), find_uncompressed=find_uncompressed
     )
+    if lifecycle is not None and lifecycle.enabled:
+        lifecycle.emit("block-find", chunk=chunk_index)
     if recorder is not None and recorder.enabled:
         with recorder.span("chunk.block_find", chunk_id=chunk_index):
             offset = finder.find_next(search_from, until=stop_bit)
     else:
         offset = finder.find_next(search_from, until=stop_bit)
+    if offset is not None and lifecycle is not None and lifecycle.enabled:
+        lifecycle.emit("decode", chunk=chunk_index, mode="search",
+                       kind="speculative")
     tried = 0
     false_positives = 0
     result = None

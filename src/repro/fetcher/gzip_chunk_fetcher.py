@@ -178,12 +178,14 @@ class GzipChunkFetcher:
             capacity,
             max_bytes=budget // 4 if budget else None,
             account="prefetch_cache" if governor is not None else None,
+            on_evict=self._note_eviction("prefetch"),
             **sizing,
         )
         self.access_cache = LRUCache(
             max(parallelization // 4, 1),
             max_bytes=budget // 8 if budget else None,
             account="access_cache" if governor is not None else None,
+            on_evict=self._note_eviction("access"),
             **sizing,
         )
         self._futures: dict = {}  # chunk id -> Future[ChunkResult | None]
@@ -209,12 +211,27 @@ class GzipChunkFetcher:
         self._backend_downgrades = metrics.counter("fetcher.backend_downgrades")
         self._chunk_splits = metrics.counter("fetcher.chunk_splits")
         self._speculative_shed = metrics.counter("fetcher.speculative_shed")
-        metrics.probe(
-            "cache.prefetch", lambda: self.prefetch_cache.statistics.as_dict()
+        self._ladder_pool_unavailable = metrics.counter(
+            "fetcher.ladder_pool_unavailable"
         )
         metrics.probe(
-            "cache.access", lambda: self.access_cache.statistics.as_dict()
+            "cache.prefetch", lambda: self.prefetch_cache.snapshot()
         )
+        metrics.probe(
+            "cache.access", lambda: self.access_cache.snapshot()
+        )
+        metrics.probe("fetcher.inflight_decodes", lambda: len(self._futures))
+
+    def _note_eviction(self, cache: str):
+        """Cache-eviction hook emitting the ``evicted`` lifecycle event."""
+        def hook(key, _value):
+            events = self.telemetry.events
+            if events.enabled:
+                events.emit(
+                    "evicted", chunk=self._id_of_key.get(key), bit=key,
+                    cache=cache,
+                )
+        return hook
 
     # -- chunk-id database (offsets <-> indexes, paper §3.2) --------------------
 
@@ -288,6 +305,13 @@ class GzipChunkFetcher:
             "chunk.decode", chunk_id=chunk_id, mode=self.mode, kind=kind,
             attempt=attempt,
         ):
+            events = self.telemetry.events
+            if events.enabled and self.mode != "search":
+                # Search mode emits block-find/decode inside the
+                # speculative body, where the phases actually separate.
+                events.emit(
+                    "decode", chunk=chunk_id, mode=self.mode, kind=kind
+                )
             faults.fire("chunk.decode", chunk_id=chunk_id, attempt=attempt)
             return self._task_for_id(chunk_id)
 
@@ -333,7 +357,12 @@ class GzipChunkFetcher:
             decoder=self.decoder,
             trace=self.telemetry.tracing,
             trace_origin=self.telemetry.recorder.origin,
+            events=self.telemetry.event_logging,
         )
+        if spec.events and spec.trace_origin is None:
+            # Tracing off but event logging on: workers still need the
+            # parent's timeline zero so lifecycle timestamps line up.
+            spec.trace_origin = self.telemetry.events.origin
         if self.mode == "search":
             spec.chunk_size = self.chunk_size
             spec.find_uncompressed = self.find_uncompressed
@@ -371,6 +400,8 @@ class GzipChunkFetcher:
                 self.telemetry.metrics.merge_state(outcome.metrics)
             if outcome.trace_events:
                 self.telemetry.recorder.ingest(outcome.trace_events)
+            if outcome.events:
+                self.telemetry.events.ingest(outcome.events)
             return outcome.result
         return outcome
 
@@ -382,64 +413,102 @@ class GzipChunkFetcher:
                 for chunk_id, future in self._futures.items()
                 if future.done()
             ]
+            if not finished:
+                return
             recorder = self.telemetry.recorder
-            for chunk_id, future in finished:
-                del self._futures[chunk_id]
-                reserved = self._inflight_charge.pop(chunk_id, 0)
-                if reserved and self.governor is not None:
-                    self.governor.discharge("in_flight", reserved)
-                crashed = False
-                try:
-                    result = self._absorb(future.result())
-                except CancelledError:
-                    # Shed under memory pressure before any worker ran it.
-                    # Says nothing about decodability: stay eligible for
-                    # resubmission once the budget has headroom again.
-                    if recorder.enabled:
-                        recorder.instant(
-                            "chunk.speculative_shed", chunk_id=chunk_id
-                        )
-                    continue
-                except FormatError as error:
-                    # Thread-backend speculative reject (process workers
-                    # fold theirs child-side): counted + traced, with the
-                    # chunk context that used to be dropped.
-                    self._speculative_rejects.increment()
-                    if recorder.enabled:
-                        recorder.instant(
-                            "chunk.speculative_reject", chunk_id=chunk_id,
-                            error=repr(error),
-                        )
-                    result = None
-                except WorkerCrashedError as error:
-                    self._worker_crashes.increment()
-                    if recorder.enabled:
-                        recorder.instant(
-                            "chunk.worker_crash", chunk_id=chunk_id,
-                            error=repr(error),
-                        )
-                    self._note_backend_failure("crash")
-                    result = None
-                    crashed = True
-                except Exception as error:  # contain: speculation is optional
-                    self._task_errors.increment()
-                    if recorder.enabled:
-                        recorder.instant(
-                            "chunk.task_error", chunk_id=chunk_id,
-                            error=repr(error),
-                        )
-                    result = None
-                if result is None:
-                    if not crashed:
-                        # A crash says nothing about decodability — leave
-                        # the chunk eligible for resubmission/on-demand.
-                        self._no_candidate.add(chunk_id)
-                    self._speculative_unusable.increment()
-                    continue
-                if result.split:
-                    self._chunk_splits.increment()
-                self.prefetch_cache.insert(result.start_bit, result)
-                self._remember_key(result.start_bit, chunk_id)
+            events = self.telemetry.events
+            # Spanned: absorbing worker results (telemetry merges, cache
+            # inserts) is read-thread time --explain should account for.
+            with recorder.span("chunk.harvest", count=len(finished)):
+                self._harvest_finished(finished, recorder, events)
+
+    def _harvest_finished(self, finished, recorder, events) -> None:
+        for chunk_id, future in finished:
+            del self._futures[chunk_id]
+            reserved = self._inflight_charge.pop(chunk_id, 0)
+            if reserved and self.governor is not None:
+                self.governor.discharge("in_flight", reserved)
+            crashed = False
+            classified = False
+            try:
+                result = self._absorb(future.result())
+            except CancelledError:
+                # Shed under memory pressure before any worker ran it.
+                # Says nothing about decodability: stay eligible for
+                # resubmission once the budget has headroom again.
+                if recorder.enabled:
+                    recorder.instant(
+                        "chunk.speculative_shed", chunk_id=chunk_id
+                    )
+                if events.enabled:
+                    events.emit("shed", chunk=chunk_id)
+                continue
+            except FormatError as error:
+                # Thread-backend speculative reject (process workers
+                # fold theirs child-side): counted + traced, with the
+                # chunk context that used to be dropped.
+                self._speculative_rejects.increment()
+                if recorder.enabled:
+                    recorder.instant(
+                        "chunk.speculative_reject", chunk_id=chunk_id,
+                        error=repr(error),
+                    )
+                if events.enabled:
+                    events.emit("rejected", chunk=chunk_id)
+                classified = True
+                result = None
+            except WorkerCrashedError as error:
+                self._worker_crashes.increment()
+                if recorder.enabled:
+                    recorder.instant(
+                        "chunk.worker_crash", chunk_id=chunk_id,
+                        error=repr(error),
+                    )
+                if events.enabled:
+                    events.emit(
+                        "failed", chunk=chunk_id, reason="worker-crash"
+                    )
+                self._note_backend_failure("crash")
+                result = None
+                crashed = True
+            except Exception as error:  # contain: speculation is optional
+                self._task_errors.increment()
+                if recorder.enabled:
+                    recorder.instant(
+                        "chunk.task_error", chunk_id=chunk_id,
+                        error=repr(error),
+                    )
+                if events.enabled:
+                    events.emit(
+                        "failed", chunk=chunk_id, reason="task-error"
+                    )
+                classified = True
+                result = None
+            if result is None:
+                if not crashed:
+                    # A crash says nothing about decodability — leave
+                    # the chunk eligible for resubmission/on-demand.
+                    self._no_candidate.add(chunk_id)
+                    if events.enabled and not classified:
+                        events.emit("no-candidate", chunk=chunk_id)
+                self._speculative_unusable.increment()
+                continue
+            if result.split:
+                self._chunk_splits.increment()
+            if events.enabled:
+                if not result.window_known:
+                    # Decoded against markers: parked until the
+                    # predecessor's window arrives at materialization.
+                    events.emit(
+                        "wait-window", chunk=chunk_id,
+                        bit=result.start_bit,
+                    )
+                events.emit(
+                    "cached", chunk=chunk_id, bit=result.start_bit,
+                    cache="prefetch", nbytes=result.payload.nbytes,
+                )
+            self.prefetch_cache.insert(result.start_bit, result)
+            self._remember_key(result.start_bit, chunk_id)
 
     def _remember_key(self, start_bit: int, chunk_id: int) -> None:
         """Record a cached start_bit under its chunk id (both directions).
@@ -490,6 +559,12 @@ class GzipChunkFetcher:
                 ):
                     return False
             self._speculative_submitted.increment()
+            events = self.telemetry.events
+            if events.enabled:
+                events.emit(
+                    "queued", chunk=chunk_id, kind="speculative",
+                    backend=self.backend,
+                )
             if self.backend == "processes":
                 future = self.pool.submit(
                     execute_chunk_task, self._spec_for_id(chunk_id),
@@ -581,6 +656,12 @@ class GzipChunkFetcher:
             result = self._produce_chunk(start_bit, chunk_id, window)
             if result.split:
                 self._chunk_splits.increment()
+            events = self.telemetry.events
+            if events.enabled:
+                events.emit(
+                    "cached", chunk=chunk_id, bit=start_bit, cache="access",
+                    nbytes=result.payload.nbytes,
+                )
             self.access_cache.insert(start_bit, result)
             self._remember_key(start_bit, chunk_id)
         self._trigger_prefetch(chunk_id)
@@ -618,6 +699,7 @@ class GzipChunkFetcher:
     def _produce_chunk_unbudgeted(self, start_bit: int, chunk_id: int,
                                   window: bytes):
         recorder = self.telemetry.recorder
+        events = self.telemetry.events
         attempt = 0
         while self.backend == "processes" and attempt < self.max_retries:
             attempt += 1
@@ -635,7 +717,21 @@ class GzipChunkFetcher:
                     ),
                     priority=PRIORITY_ON_DEMAND,
                 )
-                result = self._absorb(future.result(timeout=self.chunk_timeout))
+                if events.enabled:
+                    events.emit(
+                        "queued", chunk=chunk_id, kind="on-demand-retry",
+                        attempt=attempt,
+                    )
+                # Spanned separately from chunk.wait_inflight: this wait
+                # is a retry rung, and --explain splits it causally the
+                # same way (decode vs. queue time on the worker side).
+                with recorder.span(
+                    "chunk.wait_on_demand", chunk_id=chunk_id,
+                    attempt=attempt,
+                ):
+                    result = self._absorb(
+                        future.result(timeout=self.chunk_timeout)
+                    )
             except TimeoutError:
                 self._chunk_timeouts.increment()
                 self._note_backend_failure("timeout")
@@ -645,7 +741,10 @@ class GzipChunkFetcher:
                 self._note_backend_failure("crash")
                 continue
             except UsageError:
-                break  # pool shut down / spec not shippable: go serial
+                # Pool shut down / spec not shippable: go serial. Counted
+                # so the ladder's silent rung change shows up in --profile.
+                self._ladder_pool_unavailable.increment()
+                break
             if result is not None:
                 return result
             break  # deterministic decode failure: reproduce it serially
@@ -758,17 +857,20 @@ class GzipChunkFetcher:
             "chunk_split_size": self.chunk_split_size,
             "chunk_splits": self._chunk_splits.value,
             "speculative_shed": self._speculative_shed.value,
-            "prefetch_cache": self.prefetch_cache.statistics.as_dict(),
-            "access_cache": self.access_cache.statistics.as_dict(),
+            "prefetch_cache": self.prefetch_cache.snapshot(),
+            "access_cache": self.access_cache.snapshot(),
             "speculative_submitted": self.speculative_submitted,
             "speculative_unusable": self.speculative_unusable,
             "on_demand_decodes": self.on_demand_decodes,
             "speculative_rejects": self._speculative_rejects.value,
             "retries": self._retries.value,
+            "wait_inflight": self._wait_inflight.value,
             "chunk_timeouts": self._chunk_timeouts.value,
             "worker_crashes": self._worker_crashes.value,
             "task_errors": self._task_errors.value,
             "backend_downgrades": self._backend_downgrades.value,
+            "ladder_pool_unavailable": self._ladder_pool_unavailable.value,
+            "inflight_decodes": len(self._futures),
             "pool": self.pool.statistics(),
         }
 

@@ -162,9 +162,11 @@ class ChunkTaskSpec:
     # block-decode kernel for the Deflate paths ("fused"/"legacy"; None
     # lets the worker resolve $REPRO_DECODER itself)
     decoder: str = None
-    # telemetry plumbing
+    # telemetry plumbing (trace_origin doubles as the event-log origin
+    # when tracing is off but event logging is on)
     trace: bool = False
     trace_origin: float = None
+    events: bool = False
 
 
 @dataclass
@@ -179,6 +181,7 @@ class RemoteChunkOutcome:
     result: ChunkResult = None
     metrics: dict = field(default_factory=dict)
     trace_events: list = field(default_factory=list)
+    events: list = field(default_factory=list)  # lifecycle records
 
 
 def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
@@ -190,8 +193,11 @@ def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
     (speculative candidates are *expected* to fail); anything else
     propagates and reaches the parent through the future.
     """
-    telemetry = Telemetry(trace=spec.trace, trace_origin=spec.trace_origin)
+    telemetry = Telemetry(
+        trace=spec.trace, trace_origin=spec.trace_origin, events=spec.events
+    )
     recorder = telemetry.recorder
+    events = telemetry.events
     if recorder.enabled:
         recorder.set_thread_name(multiprocessing.current_process().name)
     faults.install(spec.faults)  # None outside chaos runs
@@ -202,6 +208,12 @@ def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
             kind="retry" if spec.exact else "speculative",
             attempt=spec.attempt,
         ):
+            if events.enabled and (spec.mode != "search" or spec.exact):
+                # Search-mode speculation emits block-find/decode itself.
+                events.emit(
+                    "decode", chunk=spec.chunk_id, mode=spec.mode,
+                    kind="retry" if spec.exact else "speculative",
+                )
             faults.fire(
                 "chunk.decode", chunk_id=spec.chunk_id, attempt=spec.attempt
             )
@@ -220,6 +232,7 @@ def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
         result=result,
         metrics=telemetry.metrics.export_state(),
         trace_events=recorder.events() if recorder.enabled else [],
+        events=events.records() if events.enabled else [],
     )
 
 

@@ -40,7 +40,12 @@ from ..gz.crc32 import fast_crc32
 from ..gz.header import parse_gzip_header
 from ..index import GzipIndex, SeekPoint
 from ..io import BitReader, ensure_file_reader
-from ..telemetry import Telemetry
+from ..telemetry import (
+    MetricsServer,
+    Telemetry,
+    attribute_reads,
+)
+from ..telemetry.exporter import STATS_SCHEMA
 
 __all__ = ["ParallelGzipReader", "decompress_parallel"]
 
@@ -66,10 +71,14 @@ class ParallelGzipReader:
         max_retries: int = 2,
         chunk_timeout: float = None,
         trace: bool = False,
+        events: bool = False,
         telemetry: Telemetry = None,
         decoder: str = None,
         max_memory=None,
         spill_dir=None,
+        metrics_port: int = None,
+        metrics_host: str = "127.0.0.1",
+        metrics_interval: float = 1.0,
     ):
         """Open a gzip file for parallel reading.
 
@@ -123,6 +132,20 @@ class ParallelGzipReader:
         :meth:`save_trace`. Metrics are collected either way. Pass an
         existing ``telemetry`` bundle to share one recorder/registry
         across several readers.
+
+        ``events=True`` records the structured per-chunk lifecycle event
+        log (queued → block-find → decode → wait-window →
+        markers-replaced → cached → evicted/spilled → served); export it
+        as JSON Lines with :meth:`save_events`. With both ``trace`` and
+        ``events`` on, :meth:`explain` reconstructs where each
+        ``read()``'s wall time went.
+
+        ``metrics_port`` (an integer, ``0`` for an ephemeral port) starts
+        a background stdlib HTTP server on ``metrics_host`` exposing
+        ``/metrics`` (Prometheus text format), ``/stats`` (the
+        :meth:`statistics` JSON), ``/series`` (periodic samples taken
+        every ``metrics_interval`` seconds), and ``/healthz``. The bound
+        URL is :attr:`metrics_url`; the server stops with :meth:`close`.
         """
         self._file_reader = ensure_file_reader(source)
         self._verify = verify
@@ -136,9 +159,25 @@ class ParallelGzipReader:
         self._position = 0
         self._closed = False
         self._lock = threading.RLock()
-        self.telemetry = telemetry if telemetry is not None else Telemetry(trace=trace)
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else Telemetry(trace=trace, events=events)
+        )
         self._read_calls = self.telemetry.metrics.counter("reader.read_calls")
         self._read_seconds = self.telemetry.metrics.histogram("reader.read_seconds")
+        self._bytes_returned = self.telemetry.metrics.counter(
+            "reader.bytes_returned"
+        )
+        self._opened_at = time.perf_counter()
+        self.telemetry.metrics.probe(
+            "reader.uptime_seconds",
+            lambda: time.perf_counter() - self._opened_at,
+        )
+        self.telemetry.metrics.probe(
+            "reader.throughput_bytes_per_second",
+            lambda: self._bytes_returned.value
+            / max(time.perf_counter() - self._opened_at, 1e-9),
+        )
 
         if index is not None and not index.finalized:
             raise UsageError("only finalized indexes can be imported")
@@ -197,8 +236,11 @@ class ParallelGzipReader:
         self._materialized = LRUCache(
             max(4, parallelization // 2),
             max_bytes=budget // 8 if budget else None,
-            on_evict=self._spill_evicted if self._spill is not None else None,
+            on_evict=self._spill_evicted,
             **sizing,
+        )
+        self.telemetry.metrics.probe(
+            "cache.materialized", lambda: self._materialized.snapshot()
         )
 
         # CRC verification state for in-order consumption.
@@ -212,6 +254,23 @@ class ParallelGzipReader:
         except Exception:
             self._fetcher.close()  # don't leak the worker pool
             raise
+
+        self._metrics_server = None
+        if metrics_port is not None:
+            try:
+                self._metrics_server = MetricsServer(
+                    self.telemetry,
+                    port=metrics_port,
+                    host=metrics_host,
+                    stats_provider=self.statistics,
+                    sample_interval=metrics_interval,
+                )
+                self._metrics_server.start()
+            except Exception:
+                self._fetcher.close()
+                if self._spill is not None:
+                    self._spill.close()
+                raise
 
     def _init_chunk_chain(self, index) -> None:
         initial = self._fetcher.initial_chunk()
@@ -358,7 +417,7 @@ class ParallelGzipReader:
         # Pin the recovered bytes: they cannot be re-materialized through
         # the fetcher (its decode would fail at this offset again).
         self._damaged_data[start_bit] = segment.data
-        self._materialized.insert(start_bit, segment.data)
+        self._cache_materialized(start_bit, segment.data)
         end_bits = self._file_reader.size() * 8
         if segment.end_bit >= end_bits - 16:
             # Within footer padding of EOF: the file is fully consumed.
@@ -430,7 +489,7 @@ class ParallelGzipReader:
                 chunks=len(self._block_map),
                 known_size=self._block_map.known_size,
             )
-        self._materialized.insert(start_bit, data)
+        self._cache_materialized(start_bit, data)
         self._verify_sequential(record, data, result.events)
         if not self._index.finalized:
             self._add_interior_seek_points(record, data, result.boundaries)
@@ -504,6 +563,13 @@ class ParallelGzipReader:
             "chunk.materialize", start_bit=result.start_bit
         ):
             data = result.payload.materialize(window)
+        events = self.telemetry.events
+        if events.enabled and not result.window_known:
+            # Marker symbols just got their window: the two-stage decode's
+            # second stage, the moment speculative output becomes real.
+            events.emit(
+                "markers-replaced", bit=result.start_bit, nbytes=len(data)
+            )
         if self._pugz_compatible and data:
             import numpy as np
 
@@ -519,6 +585,17 @@ class ParallelGzipReader:
         """Verify member CRC/ISIZE while chunks arrive in order."""
         if not self._verify_active:
             return
+        recorder = self.telemetry.recorder
+        if recorder.enabled:
+            with recorder.span(
+                "reader.verify", start_bit=record.start_bit, nbytes=len(data)
+            ):
+                self._verify_sequential_body(record, data, events)
+        else:
+            self._verify_sequential_body(record, data, events)
+
+    def _verify_sequential_body(self, record: ChunkRecord, data: bytes,
+                                events) -> None:
         if record.output_start != self._verified_up_to:
             self._verify_active = False  # out-of-order consumption: give up
             return
@@ -585,9 +662,21 @@ class ParallelGzipReader:
         Damaged-region bytes are already pinned in ``_damaged_data`` (and
         could not be re-decoded anyway), so they never spill.
         """
-        if key in self._damaged_data:
+        events = self.telemetry.events
+        if events.enabled:
+            events.emit("evicted", bit=key, cache="materialized")
+        if key in self._damaged_data or self._spill is None:
             return
-        self._spill.put(key, data)
+        if self._spill.put(key, data) and events.enabled:
+            events.emit("spilled", bit=key, nbytes=len(data))
+
+    def _cache_materialized(self, key, data) -> None:
+        events = self.telemetry.events
+        if events.enabled:
+            events.emit(
+                "cached", bit=key, cache="materialized", nbytes=len(data)
+            )
+        self._materialized.insert(key, data)
 
     def _chunk_bytes(self, record: ChunkRecord) -> bytes:
         data = self._materialized.get(record.start_bit)
@@ -596,7 +685,7 @@ class ParallelGzipReader:
             # re-materialize them (its decode fails at that offset).
             data = self._damaged_data.get(record.start_bit)
             if data is not None:
-                self._materialized.insert(record.start_bit, data)
+                self._cache_materialized(record.start_bit, data)
                 return data
         if data is None and self._spill is not None:
             # Spill tier: CRC-verified reload of a previously evicted
@@ -604,7 +693,7 @@ class ParallelGzipReader:
             # fresh decode below.
             data = self._spill.get(record.start_bit)
             if data is not None:
-                self._materialized.insert(record.start_bit, data)
+                self._cache_materialized(record.start_bit, data)
                 return data
         if data is None:
             try:
@@ -615,10 +704,10 @@ class ParallelGzipReader:
                 # Prebuilt-index path: the chunk's extent is known, so a
                 # damaged chunk becomes pure placeholder bytes.
                 data = self._record_index_damage(record, error)
-                self._materialized.insert(record.start_bit, data)
+                self._cache_materialized(record.start_bit, data)
                 return data
             data = self._materialize_result(result, record.window)
-            self._materialized.insert(record.start_bit, data)
+            self._cache_materialized(record.start_bit, data)
             # In index mode chunks materialize here, not via the chain walk;
             # verification proceeds while consumption stays in order and
             # silently stands down on the first out-of-order access.
@@ -660,12 +749,14 @@ class ParallelGzipReader:
         with self._lock:
             self._check_open()
             started = time.perf_counter()
+            recorder = self.telemetry.recorder
             pieces = []
             remaining = size if size >= 0 else None
             while remaining is None or remaining > 0:
                 self._ensure_decoded_to(self._position)
                 if self._position >= self._block_map.known_size:
                     break  # end of file
+                serve_started = time.perf_counter() if recorder.enabled else 0.0
                 record = self._block_map.record_for_output(self._position)
                 data = self._chunk_bytes(record)
                 local = self._position - record.output_start
@@ -675,15 +766,29 @@ class ParallelGzipReader:
                     else data[local : local + remaining]
                 )
                 pieces.append(piece)
+                if recorder.enabled:
+                    recorder.complete(
+                        "reader.serve", serve_started, time.perf_counter(),
+                        nbytes=len(piece),
+                    )
+                events = self.telemetry.events
+                if events.enabled:
+                    events.emit(
+                        "served", bit=record.start_bit, nbytes=len(piece)
+                    )
                 self._position += len(piece)
                 if remaining is not None:
                     remaining -= len(piece)
+            join_started = time.perf_counter() if recorder.enabled else 0.0
             result = b"".join(pieces)
             finished = time.perf_counter()
             self._read_calls.increment()
             self._read_seconds.observe(finished - started)
-            recorder = self.telemetry.recorder
+            self._bytes_returned.increment(len(result))
             if recorder.enabled:
+                recorder.complete(
+                    "reader.serve", join_started, finished, nbytes=len(result)
+                )
                 recorder.complete(
                     "reader.read", started, finished,
                     requested=size, returned=len(result),
@@ -810,13 +915,22 @@ class ParallelGzipReader:
 
     def statistics(self) -> dict:
         stats = self._fetcher.statistics()
+        stats["schema"] = STATS_SCHEMA
         stats["chunks_decoded"] = len(self._block_map)
         stats["known_size"] = self._block_map.known_size
         stats["read_calls"] = self._read_calls.value
+        stats["bytes_returned"] = self._bytes_returned.value
         stats["damaged_regions"] = len(self._damage.regions)
-        stats["materialized_cache"] = self._materialized.statistics.as_dict()
+        stats["materialized_cache"] = self._materialized.snapshot()
         stats["spill"] = (
             self._spill.statistics() if self._spill is not None else None
+        )
+        stats["events"] = (
+            {
+                "records": self.telemetry.events.num_records,
+                "dropped": self.telemetry.events.dropped,
+            }
+            if self.telemetry.event_logging else None
         )
         stats["metrics"] = self.telemetry.metrics.as_dict()
         return stats
@@ -827,6 +941,40 @@ class ParallelGzipReader:
         file-like object. Load the file in Perfetto or chrome://tracing."""
         self.telemetry.recorder.export(target)
 
+    def save_events(self, target) -> None:
+        """Export the chunk-lifecycle event log as JSON Lines (requires
+        construction with ``events=True``)."""
+        self.telemetry.events.save(target)
+
+    def explain(self) -> dict:
+        """Attribute each ``read()``'s wall time across pipeline stages.
+
+        Requires construction with ``trace=True`` (event logging enriches
+        the report but is optional). Returns the machine-readable report
+        of :func:`repro.telemetry.attribute_reads`; render it for humans
+        with :func:`repro.telemetry.format_explain`.
+        """
+        if not self.telemetry.tracing:
+            raise UsageError(
+                "explain() needs trace spans; open the reader with "
+                "trace=True (the CLI's --explain does this automatically)"
+            )
+        records = (
+            self.telemetry.events.records()
+            if self.telemetry.event_logging else None
+        )
+        return attribute_reads(
+            self.telemetry.recorder.events(), event_records=records
+        )
+
+    @property
+    def metrics_url(self):
+        """Base URL of the live metrics server, or None when not serving."""
+        return (
+            self._metrics_server.url
+            if self._metrics_server is not None else None
+        )
+
     # -- lifecycle --------------------------------------------------------------------
 
     def _check_open(self) -> None:
@@ -836,6 +984,9 @@ class ParallelGzipReader:
     def close(self) -> None:
         with self._lock:
             if not self._closed:
+                if self._metrics_server is not None:
+                    self._metrics_server.stop()
+                    self._metrics_server = None
                 self._fetcher.close()
                 if self._spill is not None:
                     self._spill.close()

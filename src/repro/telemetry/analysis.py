@@ -1,0 +1,452 @@
+"""Read-latency attribution: where did every ``read()`` actually wait?
+
+The paper's whole argument is a latency budget — block search vs.
+two-stage decode vs. the sequential window-propagation tail — but a
+trace file answers that only after manual squinting in Perfetto. This
+module reconstructs the *critical path* of every ``reader.read`` span
+from the recorded trace (and, when present, the structured event log)
+and attributes its wall time across named stages:
+
+* ``block-find`` — worker time spent searching for Deflate block
+  candidates while the read waited on that chunk;
+* ``queue-wait`` — the read waited on an in-flight chunk that no worker
+  was decoding yet (pool oversubscribed or prefetch issued too late);
+* ``decode`` — actual Deflate decoding the read waited on (worker-side
+  while blocked on a future, or serially on the reading thread);
+* ``window-propagation`` — materialization: marker replacement with the
+  propagated 32 KiB window, the paper's sequential tail;
+* ``backpressure-stall`` — blocked in the memory governor waiting for
+  budget headroom;
+* ``spill-io`` — reloading evicted chunks from (or writing them to) the
+  spill tier;
+* ``recovery`` — tolerant-mode resynchronisation after damage;
+* ``verify`` — CRC-32/ISIZE verification on the reading thread;
+* ``bookkeeping`` — harvesting finished futures (absorbing worker
+  results, merging child telemetry, cache insertion) plus the
+  chain-advance bookkeeping inside ``decode_next_chunk`` not owned by a
+  more specific stage (cache probes, prefetch submission);
+* ``serve-copy`` — slicing decoded chunks into the caller's result
+  buffer and joining the pieces;
+* ``other`` — the unexplained remainder (small by construction; a large
+  value here is itself a bug signal).
+
+The split of a blocked-on-future wait into queue-wait vs. decode vs.
+block-find is *causal*: the wait span carries the awaited chunk id, and
+worker-side ``chunk.decode``/``chunk.block_find`` spans for that same
+chunk id — from any thread or worker process, since traces merge — are
+intersected with the wait interval. Time the wait overlapped a worker
+decoding that chunk is decode time; the remainder is queue wait.
+
+Everything operates on plain trace-event dicts (``ph == "X"`` spans with
+microsecond ``ts``/``dur``), so it works on a live recorder's
+``events()``, a loaded trace JSON, or the spans a benchmark harness kept
+in memory.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "READ_STAGES",
+    "attribute_reads",
+    "format_explain",
+    "load_trace_events",
+]
+
+#: Attribution stages, in report order. ``other`` is the unexplained
+#: remainder and deliberately last.
+READ_STAGES = (
+    "block-find",
+    "queue-wait",
+    "decode",
+    "window-propagation",
+    "backpressure-stall",
+    "spill-io",
+    "recovery",
+    "verify",
+    "bookkeeping",
+    "serve-copy",
+    "other",
+)
+
+#: Direct mapping: a span with this name *on the reading thread* is that
+#: stage, full stop.
+_DIRECT_STAGES = {
+    "chunk.materialize": "window-propagation",
+    "memory.stall": "backpressure-stall",
+    "spill.read": "spill-io",
+    "spill.write": "spill-io",
+    "reader.resync": "recovery",
+    "reader.verify": "verify",
+    "chunk.harvest": "bookkeeping",
+    "chunk.decode": "decode",  # serial on-demand decode on the read thread
+}
+
+#: Waits on another execution context, split causally by chunk id.
+_WAIT_SPANS = ("chunk.wait_inflight", "chunk.wait_on_demand")
+
+#: Envelope spans: claimed *after* the direct/wait spans they contain, so
+#: only their leftover time (cache probes, prefetch submission, chain
+#: bookkeeping between instrumented children) lands in their stage.
+_ENVELOPE_STAGES = {
+    "reader.decode_next_chunk": "bookkeeping",
+    "reader.serve": "serve-copy",
+}
+
+_ADVICE = {
+    "block-find": (
+        "search-bound: most blocked time went to finding Deflate block "
+        "candidates — export an index once (--export-index) and reopen "
+        "with --import-index to skip searching entirely"
+    ),
+    "queue-wait": (
+        "prefetch-bound: reads waited on chunks no worker had started — "
+        "prefetch degree or parallelization too low for this access "
+        "pattern (raise -P, or check that speculation is not being shed "
+        "by a tight --max-memory)"
+    ),
+    "decode": (
+        "decode-bound: reads waited on Deflate decoding itself — raise "
+        "-P, prefer --backend processes for the search path, and keep "
+        "the fused decoder enabled"
+    ),
+    "window-propagation": (
+        "window-propagation-bound: the sequential marker-replacement "
+        "tail dominates — chunks decode speculatively fast enough, but "
+        "each must wait for its predecessor's 32 KiB window; import an "
+        "index (windows known, zlib fast path) or recompress with "
+        "independent chunks (BGZF)"
+    ),
+    "backpressure-stall": (
+        "memory-bound: reads stalled waiting for budget headroom — "
+        "raise --max-memory or reduce parallelization"
+    ),
+    "spill-io": (
+        "spill-bound: reads reloaded evicted chunks from disk — raise "
+        "--max-memory, point --spill-dir at faster storage, or read "
+        "more sequentially"
+    ),
+    "recovery": (
+        "recovery-bound: tolerant-mode resynchronisation after damage "
+        "dominated — the input is corrupt; see the damage report"
+    ),
+    "verify": (
+        "verification-bound: CRC-32/ISIZE checking on the reading "
+        "thread dominated — pass --no-verify if integrity checking is "
+        "handled elsewhere"
+    ),
+    "bookkeeping": (
+        "harvest-bound: folding finished worker results (telemetry "
+        "merges, cache insertion) and chain-advance bookkeeping "
+        "dominated — unusual; often a symptom of very small chunks "
+        "(raise --chunk-size)"
+    ),
+    "serve-copy": (
+        "copy-bound: assembling the returned buffer from decoded "
+        "chunks dominated — reads are large and decoding is already "
+        "fast; stream in smaller read() calls if latency matters"
+    ),
+    "other": (
+        "bookkeeping-bound: most time fell outside instrumented stages "
+        "— likely many tiny reads (per-call overhead) rather than a "
+        "pipeline bottleneck"
+    ),
+}
+
+
+def load_trace_events(source) -> list:
+    """Load trace events from a path, file-like object, or trace dict."""
+    if isinstance(source, dict):
+        return source.get("traceEvents", [])
+    if hasattr(source, "read"):
+        return json.load(source).get("traceEvents", [])
+    with open(source, "r", encoding="utf-8") as handle:
+        return json.load(handle).get("traceEvents", [])
+
+
+# -- interval arithmetic (microsecond floats) ----------------------------------
+
+
+def _merge(intervals: list) -> list:
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        if start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _clip_total(merged: list, lo: float, hi: float) -> float:
+    """Total overlap of already-merged intervals with ``[lo, hi]``."""
+    total = 0.0
+    for start, end in merged:
+        if end <= lo:
+            continue
+        if start >= hi:
+            break
+        total += min(end, hi) - max(start, lo)
+    return total
+
+
+def _subtract(lo: float, hi: float, merged: list) -> list:
+    """``[lo, hi]`` minus already-merged intervals."""
+    pieces = []
+    cursor = lo
+    for start, end in merged:
+        if end <= lo:
+            continue
+        if start >= hi:
+            break
+        if start > cursor:
+            pieces.append((cursor, min(start, hi)))
+        cursor = max(cursor, end)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        pieces.append((cursor, hi))
+    return pieces
+
+
+# -- attribution ----------------------------------------------------------------
+
+
+def _spans(trace_events) -> list:
+    return [
+        event for event in trace_events
+        if event.get("ph") == "X" and event.get("dur") is not None
+    ]
+
+
+def _chunk_of(event):
+    return event.get("args", {}).get("chunk_id")
+
+
+def attribute_reads(trace_events, event_records=None) -> dict:
+    """Attribute every ``reader.read`` span's wall time across stages.
+
+    Returns a machine-readable report::
+
+        {"schema": 1,
+         "reads": [{"start_us", "duration_seconds", "returned",
+                    "stages": {stage: seconds}, "attributed_fraction"}],
+         "totals": {"read_wall_seconds", "stages", "stage_fractions",
+                    "attributed_fraction", "reads", "bottleneck"},
+         "events": {... event-log digest, when records were given ...},
+         "advice": [...]}
+
+    ``attributed_fraction`` is the share of read wall time explained by
+    a stage other than ``other``. ``event_records`` (from an
+    :class:`~repro.telemetry.events.EventLog`) optionally enriches the
+    report with lifecycle counts (evictions, spills, sheds) that spans
+    alone cannot see.
+    """
+    spans = _spans(trace_events)
+    reads = [span for span in spans if span["name"] == "reader.read"]
+
+    # Worker-side activity per chunk id, merged once, reused per wait.
+    decode_by_chunk: dict = {}
+    find_by_chunk: dict = {}
+    for span in spans:
+        chunk = _chunk_of(span)
+        if chunk is None:
+            continue
+        interval = (span["ts"], span["ts"] + span["dur"])
+        if span["name"] in ("chunk.decode", "chunk.decode_attempt"):
+            decode_by_chunk.setdefault(chunk, []).append(interval)
+        elif span["name"] == "chunk.block_find":
+            find_by_chunk.setdefault(chunk, []).append(interval)
+    decode_by_chunk = {k: _merge(v) for k, v in decode_by_chunk.items()}
+    find_by_chunk = {k: _merge(v) for k, v in find_by_chunk.items()}
+
+    report_reads = []
+    totals = {stage: 0.0 for stage in READ_STAGES}
+    total_wall_us = 0.0
+    for read in sorted(reads, key=lambda span: span["ts"]):
+        read_lo = read["ts"]
+        read_hi = read_lo + read["dur"]
+        total_wall_us += read["dur"]
+        stages = {stage: 0.0 for stage in READ_STAGES}
+        claimed: list = []
+        children = []
+        envelopes = []
+        for span in spans:
+            if (span is read
+                    or span.get("pid") != read.get("pid")
+                    or span.get("tid") != read.get("tid")
+                    or span["ts"] < read_lo - 0.5
+                    or span["ts"] + span["dur"] > read_hi + 0.5):
+                continue
+            if span["name"] in _DIRECT_STAGES or span["name"] in _WAIT_SPANS:
+                children.append(span)
+            elif span["name"] in _ENVELOPE_STAGES:
+                envelopes.append(span)
+        for child in sorted(children, key=lambda span: (span["ts"], -span["dur"])):
+            lo = max(child["ts"], read_lo)
+            hi = min(child["ts"] + child["dur"], read_hi)
+            if hi <= lo:
+                continue
+            # Claim only time no earlier stage span owns: stage spans are
+            # disjoint by construction, but a defensive subtraction keeps
+            # accidental nesting from double-counting.
+            pieces = _subtract(lo, hi, _merge(claimed))
+            claimed.extend(pieces)
+            owned = sum(end - start for start, end in pieces)
+            if owned <= 0.0:
+                continue
+            if child["name"] in _WAIT_SPANS:
+                chunk = _chunk_of(child)
+                decode_overlap = 0.0
+                find_overlap = 0.0
+                for start, end in pieces:
+                    decode_overlap += _clip_total(
+                        decode_by_chunk.get(chunk, []), start, end
+                    )
+                    find_overlap += _clip_total(
+                        find_by_chunk.get(chunk, []), start, end
+                    )
+                find_overlap = min(find_overlap, decode_overlap)
+                stages["block-find"] += find_overlap
+                stages["decode"] += decode_overlap - find_overlap
+                stages["queue-wait"] += max(owned - decode_overlap, 0.0)
+            else:
+                stages[_DIRECT_STAGES[child["name"]]] += owned
+        # Envelope spans claim last: whatever their instrumented children
+        # did not own is *their* bookkeeping, not "other".
+        for envelope in sorted(envelopes, key=lambda span: span["ts"]):
+            lo = max(envelope["ts"], read_lo)
+            hi = min(envelope["ts"] + envelope["dur"], read_hi)
+            if hi <= lo:
+                continue
+            pieces = _subtract(lo, hi, _merge(claimed))
+            claimed.extend(pieces)
+            owned = sum(end - start for start, end in pieces)
+            if owned > 0.0:
+                stages[_ENVELOPE_STAGES[envelope["name"]]] += owned
+        explained = sum(stages.values())
+        stages["other"] = max(read["dur"] - explained, 0.0)
+        for stage in READ_STAGES:
+            totals[stage] += stages[stage]
+        attributed = (
+            1.0 - stages["other"] / read["dur"] if read["dur"] > 0 else 1.0
+        )
+        report_reads.append(
+            {
+                "start_us": read_lo,
+                "duration_seconds": read["dur"] / 1e6,
+                "returned": read.get("args", {}).get("returned"),
+                "stages": {
+                    stage: seconds / 1e6
+                    for stage, seconds in stages.items()
+                },
+                "attributed_fraction": attributed,
+            }
+        )
+
+    stage_seconds = {stage: value / 1e6 for stage, value in totals.items()}
+    wall_seconds = total_wall_us / 1e6
+    fractions = {
+        stage: (value / wall_seconds if wall_seconds else 0.0)
+        for stage, value in stage_seconds.items()
+    }
+    bottleneck = max(
+        READ_STAGES, key=lambda stage: stage_seconds[stage]
+    ) if reads else None
+    attributed_fraction = (
+        1.0 - fractions.get("other", 0.0) if reads else 0.0
+    )
+    report = {
+        "schema": 1,
+        "reads": report_reads,
+        "totals": {
+            "reads": len(reads),
+            "read_wall_seconds": wall_seconds,
+            "stages": stage_seconds,
+            "stage_fractions": fractions,
+            "attributed_fraction": attributed_fraction,
+            "bottleneck": bottleneck,
+        },
+        "advice": [_ADVICE[bottleneck]] if bottleneck else [],
+    }
+    if event_records is not None:
+        report["events"] = _digest_events(event_records)
+    return report
+
+
+def _digest_events(records) -> dict:
+    """Lifecycle digest: per-state counts plus pipeline health signals."""
+    from .events import TERMINAL_STATES, chunk_lifecycles
+
+    states: dict = {}
+    for record in records:
+        state = record.get("state")
+        if state:
+            states[state] = states.get(state, 0) + 1
+    lifecycles = chunk_lifecycles(records)
+    incomplete = [
+        key for key, history in lifecycles.items()
+        if not any(
+            record.get("state") in TERMINAL_STATES for record in history
+        )
+    ]
+    return {
+        "records": len(records) if hasattr(records, "__len__") else None,
+        "chunks": len(lifecycles),
+        "state_counts": dict(sorted(states.items())),
+        "incomplete_chunks": sorted(incomplete, key=str)[:32],
+    }
+
+
+def format_explain(report: dict) -> list:
+    """Render an attribution report as human-readable ``[Explain]`` lines."""
+    lines = []
+
+    def say(text: str) -> None:
+        lines.append(f"[Explain] {text}")
+
+    totals = report.get("totals", {})
+    reads = totals.get("reads", 0)
+    if not reads:
+        say("no reader.read spans recorded — nothing to attribute "
+            "(was tracing enabled?)")
+        return lines
+    wall = totals.get("read_wall_seconds", 0.0)
+    say(f"{reads} read() call(s), {wall:.3f} s total wall time inside reads")
+    fractions = totals.get("stage_fractions", {})
+    stage_seconds = totals.get("stages", {})
+    for stage in READ_STAGES:
+        seconds = stage_seconds.get(stage, 0.0)
+        if seconds <= 0.0:
+            continue
+        say(f"  {stage:<20}: {seconds:8.3f} s  "
+            f"({100.0 * fractions.get(stage, 0.0):5.1f} %)")
+    say(f"attributed to named stages: "
+        f"{100.0 * totals.get('attributed_fraction', 0.0):.1f} %")
+    bottleneck = totals.get("bottleneck")
+    if bottleneck:
+        share = 100.0 * fractions.get(bottleneck, 0.0)
+        say(f"bottleneck: reads spent {share:.0f}% in {bottleneck}")
+    for advice in report.get("advice", []):
+        say(f"hint: {advice}")
+    events = report.get("events")
+    if events:
+        counts = events.get("state_counts", {})
+        interesting = {
+            state: counts[state]
+            for state in ("evicted", "spilled", "shed", "rejected", "failed")
+            if counts.get(state)
+        }
+        if interesting:
+            say("lifecycle pressure: " + ", ".join(
+                f"{count} {state}" for state, count in interesting.items()
+            ))
+        incomplete = events.get("incomplete_chunks")
+        if incomplete:
+            say(f"warning: {len(incomplete)} chunk(s) never reached a "
+                f"terminal lifecycle state: {incomplete[:8]}")
+    return lines

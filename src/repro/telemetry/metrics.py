@@ -252,3 +252,27 @@ class MetricsRegistry:
         for name, callback in probes.items():
             snapshot[name] = callback()
         return dict(sorted(snapshot.items()))
+
+    def snapshot_typed(self) -> dict:
+        """Snapshot with instrument kinds: ``{name: (kind, value)}``.
+
+        ``kind`` is ``"counter"``, ``"gauge"``, ``"histogram"`` (value is
+        the :meth:`Histogram.summary` dict), or ``"probe"`` (value is
+        whatever the callback returns — a scalar or a nested dict). The
+        Prometheus exporter needs the kind to emit correct ``# TYPE``
+        metadata, which :meth:`as_dict` erases.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+            probes = dict(self._probes)
+        snapshot: dict = {}
+        for name, instrument in instruments.items():
+            if isinstance(instrument, Counter):
+                snapshot[name] = ("counter", instrument.value)
+            elif isinstance(instrument, Gauge):
+                snapshot[name] = ("gauge", instrument.value)
+            elif isinstance(instrument, Histogram):
+                snapshot[name] = ("histogram", instrument.summary())
+        for name, callback in probes.items():
+            snapshot[name] = ("probe", callback())
+        return dict(sorted(snapshot.items()))

@@ -90,6 +90,7 @@ def format_profile(statistics: dict, *, wall_time: float = None,
     for label, key in (
         ("Prefetch cache", "prefetch_cache"),
         ("Access cache", "access_cache"),
+        ("Materialized cache", "materialized_cache"),
     ):
         cache = statistics.get(key)
         if cache:
@@ -158,14 +159,15 @@ def format_profile(statistics: dict, *, wall_time: float = None,
             )
     spill = statistics.get("spill")
     if spill and (spill.get("writes") or spill.get("hits")
-                  or spill.get("misses")):
+                  or spill.get("misses") or spill.get("refused")):
         from ..cache import format_size
 
         info(
             f"{'Spill tier':<28}: {spill.get('writes', 0)} chunk(s) "
             f"spilled ({format_size(spill.get('bytes_written', 0))}), "
             f"{spill.get('hits', 0)} hit(s) / {spill.get('misses', 0)} "
-            f"miss(es), {spill.get('corrupt', 0)} corrupt reload(s)"
+            f"miss(es), {spill.get('corrupt', 0)} corrupt reload(s), "
+            f"{spill.get('refused', 0)} write(s) refused"
         )
 
     # Resilience: only reported when something actually went wrong — a
@@ -174,15 +176,20 @@ def format_profile(statistics: dict, *, wall_time: float = None,
     respawns = pool.get("worker_respawns", 0)
     requeued = pool.get("tasks_requeued", 0)
     timeouts = pool.get("task_timeouts", 0)
+    chunk_timeouts = statistics.get("chunk_timeouts", 0)
     retries = statistics.get("retries", 0)
     downgrades = statistics.get("backend_downgrades", 0)
+    ladder_serial = statistics.get("ladder_pool_unavailable", 0)
     damaged = statistics.get("damaged_regions", 0)
-    if crashes or respawns or requeued or timeouts or retries or downgrades:
+    if (crashes or respawns or requeued or timeouts or chunk_timeouts
+            or retries or downgrades or ladder_serial):
         info(
             f"{'Resilience':<28}: {crashes} worker crash(es), "
             f"{respawns} respawn(s), {requeued} task(s) requeued, "
-            f"{timeouts} watchdog timeout(s), {retries} chunk retry(ies), "
-            f"{downgrades} backend downgrade(s)"
+            f"{timeouts} watchdog timeout(s), "
+            f"{chunk_timeouts} chunk timeout(s), {retries} chunk retry(ies), "
+            f"{downgrades} backend downgrade(s), "
+            f"{ladder_serial} serial ladder fallback(s)"
         )
     if damaged:
         info(

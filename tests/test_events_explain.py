@@ -1,0 +1,216 @@
+"""Tests for the structured event log and the read-latency attribution
+(--explain) toolkit, on both worker backends."""
+
+import gzip as stdlib_gzip
+import io
+import json
+
+import pytest
+
+from repro.datagen import generate_base64
+from repro.errors import UsageError
+from repro.reader import ParallelGzipReader
+from repro.telemetry import (
+    EVENT_SCHEMA,
+    EventLog,
+    NULL_EVENT_LOG,
+    READ_STAGES,
+    TERMINAL_STATES,
+    attribute_reads,
+    chunk_lifecycles,
+    format_explain,
+    load_events,
+)
+
+DATA = generate_base64(400_000, seed=21)
+BLOB = stdlib_gzip.compress(DATA, 6)
+
+
+class TestEventLog:
+    def test_emit_and_records(self):
+        log = EventLog(origin=0.0)
+        log.emit("queued", chunk=1, kind="speculative")
+        log.emit("cached", chunk=1, bit=80, nbytes=4096)
+        records = log.records()
+        assert len(records) == 2
+        for record in records:
+            assert record["schema"] == EVENT_SCHEMA
+            assert record["ts"] >= 0.0
+            assert "pid" in record
+        assert records[0]["state"] == "queued"
+        assert records[1]["bit"] == 80
+
+    def test_schema_round_trip(self, tmp_path):
+        log = EventLog(origin=0.0)
+        log.emit("queued", chunk=0)
+        log.emit("decode", chunk=0, mode="search")
+        log.emit("cached", chunk=0, bit=0, nbytes=10)
+        path = tmp_path / "events.jsonl"
+        log.save(str(path))
+        loaded = load_events(str(path))
+        assert loaded == log.records()
+        # JSONL: one self-contained JSON object per line.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["schema"] == EVENT_SCHEMA
+                   for line in lines)
+
+    def test_ingest_merges_child_records(self):
+        parent = EventLog(origin=0.0)
+        parent.emit("queued", chunk=2)
+        queued_ts = parent.records()[0]["ts"]
+        child_records = [{"schema": EVENT_SCHEMA, "ts": queued_ts + 0.5,
+                          "pid": 999, "state": "decode", "chunk": 2}]
+        parent.ingest(child_records)
+        states = [record["state"] for record in parent.records()]
+        assert states == ["queued", "decode"]  # merged onto one timeline
+
+    def test_capacity_drops_counted(self):
+        log = EventLog(origin=0.0, capacity=2)
+        for index in range(5):
+            log.emit("queued", chunk=index)
+        assert len(log.records()) == 2
+        assert log.dropped == 3
+
+    def test_null_log_is_inert(self):
+        NULL_EVENT_LOG.emit("queued", chunk=0)
+        assert NULL_EVENT_LOG.records() == []
+        assert not NULL_EVENT_LOG.enabled
+
+    def test_chunk_lifecycles_joins_bit_records(self):
+        log = EventLog(origin=0.0)
+        log.emit("queued", chunk=4)
+        log.emit("cached", chunk=4, bit=352, nbytes=100)
+        log.emit("served", bit=352, nbytes=100)  # bit-only record
+        lifecycles = chunk_lifecycles(log.records())
+        assert set(lifecycles) == {4}
+        assert [r["state"] for r in lifecycles[4]] == \
+            ["queued", "cached", "served"]
+
+
+def read_all_with_telemetry(backend, **kwargs):
+    with ParallelGzipReader(BLOB, parallelization=3, chunk_size=32 * 1024,
+                            backend=backend, trace=True, events=True,
+                            **kwargs) as reader:
+        output = bytearray()
+        while True:
+            piece = reader.read(128 * 1024)
+            if not piece:
+                break
+            output.extend(piece)
+        assert bytes(output) == DATA
+        trace_events = reader.telemetry.recorder.events()
+        event_records = reader.telemetry.events.records()
+        report = reader.explain()
+    return trace_events, event_records, report
+
+
+class TestLifecycleCompleteness:
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_every_chunk_reaches_terminal_state(self, backend):
+        _, records, _ = read_all_with_telemetry(backend)
+        lifecycles = chunk_lifecycles(records)
+        assert lifecycles  # multi-chunk by construction
+        incomplete = {
+            chunk: [record["state"] for record in history]
+            for chunk, history in lifecycles.items()
+            if not any(record["state"] in TERMINAL_STATES
+                       for record in history)
+        }
+        assert not incomplete
+        # The served data must also be visible as lifecycle events.
+        states = {record["state"] for record in records}
+        assert {"queued", "decode", "cached", "served"} <= states
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_attributes_most_wall_time(self, backend):
+        trace_events, records, report = read_all_with_telemetry(backend)
+        totals = report["totals"]
+        assert totals["reads"] >= 2  # multi-read, multi-chunk
+        # Acceptance: >=95% of read wall time lands in named stages.
+        assert totals["attributed_fraction"] >= 0.95
+        assert totals["bottleneck"] in READ_STAGES
+        assert report["advice"]
+        # Stage seconds sum to the wall time (within float noise).
+        assert sum(totals["stages"].values()) == \
+            pytest.approx(totals["read_wall_seconds"], rel=1e-6)
+        # Per-read rows mirror the totals.
+        for row in report["reads"]:
+            assert set(row["stages"]) == set(READ_STAGES)
+            assert row["duration_seconds"] >= 0.0
+        # The report is reproducible from the raw artifacts.
+        rebuilt = attribute_reads(trace_events, records)
+        assert rebuilt["totals"]["stages"] == totals["stages"]
+
+    def test_event_digest_included(self):
+        _, records, report = read_all_with_telemetry("threads")
+        digest = report["events"]
+        assert digest["chunks"] >= 1
+        assert digest["records"] == len(records)
+        assert digest["incomplete_chunks"] == []
+        assert digest["state_counts"]["served"] >= 1
+
+    def test_explain_requires_tracing(self):
+        with ParallelGzipReader(BLOB, parallelization=1,
+                                chunk_size=64 * 1024) as reader:
+            with pytest.raises(UsageError):
+                reader.explain()
+
+    def test_format_explain_lines(self):
+        _, _, report = read_all_with_telemetry("threads")
+        lines = format_explain(report)
+        assert lines
+        assert all(line.startswith("[Explain]") for line in lines)
+        text = "\n".join(lines)
+        assert "attributed to named stages" in text
+        assert "bottleneck" in text
+        assert "hint:" in text
+
+    def test_no_reads_reported_gracefully(self):
+        report = attribute_reads([])
+        assert report["totals"]["reads"] == 0
+        lines = format_explain(report)
+        assert any("nothing to attribute" in line for line in lines)
+
+
+class TestCliExplain:
+    @pytest.fixture
+    def gz_file(self, tmp_path):
+        path = tmp_path / "data.gz"
+        path.write_bytes(BLOB)
+        return path
+
+    def test_events_flag_writes_jsonl(self, gz_file, tmp_path, capsys):
+        from repro.cli import main
+
+        events_path = tmp_path / "events.jsonl"
+        out = tmp_path / "data"
+        assert main(["-o", str(out), "--events", str(events_path),
+                     str(gz_file)]) == 0
+        records = load_events(str(events_path))
+        assert records
+        assert all(record["schema"] == EVENT_SCHEMA for record in records)
+        assert out.read_bytes() == DATA
+
+    def test_explain_flag_prints_report(self, gz_file, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "data"
+        assert main(["-o", str(out), "--explain", str(gz_file)]) == 0
+        stderr = capsys.readouterr().err
+        assert "[Explain]" in stderr
+        assert "bottleneck" in stderr
+
+    def test_explain_json_flag_writes_report(self, gz_file, tmp_path):
+        from repro.cli import main
+
+        report_path = tmp_path / "explain.json"
+        out = tmp_path / "data"
+        assert main(["-o", str(out), "--explain-json", str(report_path),
+                     str(gz_file)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == 1
+        assert report["totals"]["attributed_fraction"] > 0.5
+        assert report["totals"]["bottleneck"] in READ_STAGES

@@ -1,0 +1,218 @@
+"""Tests for the live telemetry service: Prometheus exporter, stats JSON,
+sampler series, and the background HTTP endpoint under concurrent reads."""
+
+import gzip as stdlib_gzip
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.datagen import generate_base64
+from repro.reader import ParallelGzipReader
+from repro.telemetry import (
+    MetricsServer,
+    MetricsRegistry,
+    Telemetry,
+    TelemetrySampler,
+    flatten_metrics,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.telemetry.exporter import STATS_SCHEMA
+
+DATA = generate_base64(200_000, seed=13)
+BLOB = stdlib_gzip.compress(DATA, 6)
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestSanitizeAndFlatten:
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("pool.queue_wait_seconds") == \
+            "repro_pool_queue_wait_seconds"
+        assert sanitize_metric_name("9lives") .startswith("repro_")
+        # Valid prometheus identifier: letters, digits, underscores only.
+        assert all(c.isalnum() or c == "_"
+                   for c in sanitize_metric_name("a-b c/d.e"))
+
+    def test_flatten_nested_snapshot(self):
+        flat = flatten_metrics({"a": {"b": 1, "c": {"d": 2.5}}, "e": 3})
+        assert flat == {"a.b": 1, "a.c.d": 2.5, "e": 3}
+
+    def test_flatten_drops_non_numeric(self):
+        flat = flatten_metrics({"mode": "search", "n": 1, "none": None})
+        assert flat == {"n": 1}
+
+
+class TestRenderPrometheus:
+    @pytest.fixture
+    def registry(self):
+        registry = MetricsRegistry()
+        registry.counter("reader.read_calls").increment(3)
+        registry.gauge("pool.queued").set(2)
+        histogram = registry.histogram("pool.task_seconds")
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        registry.probe("cache.occupancy", lambda: 7)
+        return registry
+
+    def test_text_format_validity(self, registry):
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                # Comment lines are "# HELP name ..." or "# TYPE name kind".
+                kind, name = line.split()[1:3]
+                assert kind in ("HELP", "TYPE")
+                assert name.startswith("repro_")
+                continue
+            # Sample lines: name[{labels}] value
+            name, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            bare = name.split("{")[0]
+            assert bare.startswith("repro_")
+            assert all(c.isalnum() or c == "_" for c in bare)
+
+    def test_counter_rendered_with_total_suffix(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_reader_read_calls_total counter" in text
+        assert "repro_reader_read_calls_total 3" in text
+
+    def test_histogram_rendered_as_summary(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_pool_task_seconds summary" in text
+        assert 'repro_pool_task_seconds{quantile="0.5"}' in text
+        assert "repro_pool_task_seconds_count 2" in text
+        assert "repro_pool_task_seconds_sum 2" in text
+
+    def test_probe_rendered_as_gauge(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_cache_occupancy gauge" in text
+        assert "repro_cache_occupancy 7" in text
+
+
+class TestSampler:
+    def test_sample_and_series(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("reader.bytes_returned").increment(10)
+        sampler = TelemetrySampler(telemetry, interval=0.01)
+        first = sampler.sample()
+        telemetry.metrics.counter("reader.bytes_returned").increment(5)
+        sampler.sample()
+        series = sampler.series()
+        assert len(series["samples"]) == 2
+        assert [sample["metrics"]["reader.bytes_returned"]
+                for sample in series["samples"]] == [10, 15]
+        assert first["metrics"]["reader.bytes_returned"] == 10
+        assert series["interval_seconds"] == 0.01
+
+    def test_capacity_bounds_history(self):
+        sampler = TelemetrySampler(Telemetry(), interval=0.01, capacity=3)
+        for _ in range(10):
+            sampler.sample()
+        assert len(sampler.series()["samples"]) == 3
+
+
+class TestMetricsServer:
+    def test_endpoints_serve(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("reader.read_calls").increment()
+        with MetricsServer(telemetry, port=0) as server:
+            assert server.port > 0
+            status, body = fetch(server.url + "/healthz")
+            assert (status, body.strip()) == (200, "ok")
+            status, body = fetch(server.url + "/metrics")
+            assert status == 200
+            assert "repro_reader_read_calls_total 1" in body
+            status, body = fetch(server.url + "/stats")
+            payload = json.loads(body)
+            assert payload["schema"] == STATS_SCHEMA
+            status, body = fetch(server.url + "/series")
+            assert "samples" in json.loads(body)
+
+    def test_unknown_path_404(self):
+        with MetricsServer(Telemetry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_stats_provider_and_sorted_keys(self):
+        server = MetricsServer(
+            Telemetry(), port=0,
+            stats_provider=lambda: {"zeta": 1, "alpha": 2},
+        )
+        with server:
+            _, body = fetch(server.url + "/stats")
+        payload = json.loads(body)
+        assert payload["alpha"] == 2 and payload["zeta"] == 1
+        assert payload["schema"] == STATS_SCHEMA  # injected when absent
+        assert body.index('"alpha"') < body.index('"schema"') < \
+            body.index('"zeta"')
+
+
+class TestReaderIntegration:
+    def test_scrape_during_concurrent_reads(self):
+        with ParallelGzipReader(BLOB, parallelization=2,
+                                chunk_size=16 * 1024,
+                                max_memory=64 << 20,
+                                metrics_port=0) as reader:
+            url = reader.metrics_url
+            assert url is not None
+            scraped = []
+            errors = []
+
+            def scrape():
+                try:
+                    for _ in range(5):
+                        scraped.append(fetch(url + "/metrics"))
+                        scraped.append(fetch(url + "/stats"))
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            scraper = threading.Thread(target=scrape)
+            scraper.start()
+            output = reader.read()
+            scraper.join()
+            assert output == DATA
+            assert not errors
+            assert all(status == 200 for status, _ in scraped)
+            # Live gauges from the pipeline must be exposed.
+            _, metrics_text = fetch(url + "/metrics")
+            for series in ("repro_cache_prefetch_entries",
+                           "repro_memory_",
+                           "repro_pool_queued",
+                           "repro_fetcher_inflight_decodes",
+                           "repro_reader_throughput_bytes_per_second"):
+                assert series in metrics_text, series
+            _, stats_text = fetch(url + "/stats")
+            stats = json.loads(stats_text)
+            assert stats["schema"] == STATS_SCHEMA
+            assert stats["known_size"] == len(DATA)
+
+    def test_server_stopped_on_close(self):
+        reader = ParallelGzipReader(BLOB, parallelization=1,
+                                    chunk_size=64 * 1024, metrics_port=0)
+        url = reader.metrics_url
+        reader.close()
+        assert reader.metrics_url is None
+        with pytest.raises(Exception):
+            fetch(url + "/healthz")
+
+    def test_no_server_without_port(self):
+        with ParallelGzipReader(BLOB, parallelization=1,
+                                chunk_size=64 * 1024) as reader:
+            assert reader.metrics_url is None
+
+    def test_statistics_schema_and_stable_key_order(self):
+        with ParallelGzipReader(BLOB, parallelization=1,
+                                chunk_size=64 * 1024) as reader:
+            reader.read()
+            stats = reader.statistics()
+        assert stats["schema"] == STATS_SCHEMA
+        assert stats["bytes_returned"] == len(DATA)
+        dumped = json.dumps(stats, sort_keys=True, default=str)
+        assert json.loads(dumped)["schema"] == STATS_SCHEMA
