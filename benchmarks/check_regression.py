@@ -2,17 +2,19 @@
 
 Reruns the decode-kernel measurement from :mod:`bench_decode_kernels`
 (same corpora, same interleaved best-of-N discipline) and compares the
-fresh fused/legacy throughputs against the committed trajectory file
-``BENCH_decode_kernels.json``. Any series more than ``--threshold``
-(default 15%) below its committed value fails the check.
+fresh per-decoder throughputs against the committed trajectory file
+``BENCH_decode_kernels.json`` (latest trajectory entry; the flat
+pre-trajectory layout is still accepted). Any series more than
+``--threshold`` (default 15%) below its committed value fails the check.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --reps 3 --json -
 
-Intended as a non-blocking CI step: shared runners are noisy, so a
-failure is a signal to look at the trajectory, not an automatic revert.
+Runs as a *blocking* CI step: the interleaved best-of-N discipline
+cancels shared-runner load drift, and the 15% threshold absorbs what
+noise remains, so a failure means a real kernel regression.
 Exit codes: 0 ok, 1 regression past the threshold, 2 no baseline.
 """
 
@@ -27,8 +29,20 @@ sys.path.insert(0, str(_HERE))  # conftest, bench_decode_kernels
 import bench_decode_kernels as kernels  # noqa: E402
 
 
+def baseline_entry(document: dict) -> dict:
+    """The comparison baseline inside a committed trajectory document.
+
+    Schema 2 keeps a list of entries (one per decoder set); the newest
+    one is the baseline. The schema-1 flat layout *is* the entry.
+    """
+    trajectory = document.get("trajectory")
+    if trajectory:
+        return trajectory[-1]
+    return document
+
+
 def measure(reps: int) -> dict:
-    """Fresh fused/legacy MB/s per ``corpus/mode`` series."""
+    """Fresh per-decoder MB/s per ``corpus/mode`` series."""
     original_reps = kernels.REPS
     kernels.REPS = reps
     try:
@@ -56,7 +70,7 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list:
         current = fresh.get(series)
         if current is None:
             continue
-        for decoder in ("fused", "legacy"):
+        for decoder in baseline.get("decoders", ("fused", "legacy")):
             key = f"{decoder}_mb_s"
             before, after = committed.get(key), current.get(key)
             if not before or not after:
@@ -97,10 +111,12 @@ def main(argv=None) -> int:
         print(f"check_regression: no baseline at {arguments.baseline}",
               file=sys.stderr)
         return 2
-    baseline = json.loads(arguments.baseline.read_text())
+    baseline = baseline_entry(json.loads(arguments.baseline.read_text()))
 
     print(f"check_regression: measuring (best-of-{arguments.reps}, "
-          f"{baseline.get('corpus_size', 0) >> 20} MiB corpora)...")
+          f"{baseline.get('corpus_size', 0) >> 20} MiB corpora, "
+          f"decoders {'/'.join(baseline.get('decoders', ('fused', 'legacy')))}"
+          ")...")
     fresh = measure(arguments.reps)
     rows = compare(baseline, fresh, arguments.threshold)
 

@@ -26,6 +26,7 @@ import sys
 import time
 
 from . import __version__
+from .deflate.kernels import DECODER_NAMES
 from .errors import ReproError, exit_code_for
 
 __all__ = ["main", "build_parser"]
@@ -65,10 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--decoder",
         default=None,
-        choices=["fused", "legacy"],
+        choices=list(DECODER_NAMES),
         help="Deflate block-decode kernel: fused (default; table-fused "
-        "fast loops) or legacy (symbol-at-a-time reference loops); both "
-        "produce identical output ($REPRO_DECODER sets the default)",
+        "fast loops), batched (two-pass: resolve symbols, then "
+        "vectorized materialization), or legacy (symbol-at-a-time "
+        "reference loops); all produce identical output "
+        "($REPRO_DECODER sets the default)",
     )
     parser.add_argument("-o", "--output", help="output file path")
     parser.add_argument(

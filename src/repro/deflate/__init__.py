@@ -21,8 +21,12 @@ from .inflate import BlockBoundary, InflateResult, TwoStageStreamDecoder, inflat
 from .kernels import (
     DECODER_NAMES,
     block_decoders,
+    decode_block_into_bytearray_batched,
     decode_block_into_bytearray_fused,
+    decode_block_two_stage_batched,
     decode_block_two_stage_fused,
+    drain_kernel_stats,
+    publish_kernel_stats,
     resolve_decoder,
 )
 from .markers import (
@@ -30,6 +34,7 @@ from .markers import (
     pad_window,
     replace_markers,
     seed_marker_window,
+    seed_marker_window_u16,
     segment_has_markers,
 )
 
@@ -53,13 +58,18 @@ __all__ = [
     "inflate",
     "DECODER_NAMES",
     "block_decoders",
+    "decode_block_into_bytearray_batched",
     "decode_block_into_bytearray_fused",
+    "decode_block_two_stage_batched",
     "decode_block_two_stage_fused",
+    "drain_kernel_stats",
+    "publish_kernel_stats",
     "resolve_decoder",
     "ChunkPayload",
     "pad_window",
     "replace_markers",
     "seed_marker_window",
+    "seed_marker_window_u16",
     "segment_has_markers",
     "compress",
     "DeflateCompressor",

@@ -13,12 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import DeflateError
 from ..io import BitReader, ensure_file_reader
 from .block import BlockHeader, read_block_header
 from .constants import MAX_WINDOW_SIZE
 from .kernels import block_decoders
-from .markers import ChunkPayload, seed_marker_window
+from .markers import ChunkPayload, seed_marker_window, seed_marker_window_u16
 
 __all__ = ["inflate", "InflateResult", "BlockBoundary", "TwoStageStreamDecoder"]
 
@@ -51,8 +53,8 @@ def inflate(source, window: bytes = b"", max_size: int = None,
     ``source`` may be raw bytes, a file reader, or a positioned
     :class:`BitReader` (which will be read from its current offset —
     this is how the gzip layer resumes after a stream header).
-    ``decoder`` selects the block kernel (``fused``/``legacy``; default from
-    ``$REPRO_DECODER``).
+    ``decoder`` selects the block kernel (``fused``/``batched``/``legacy``;
+    default from ``$REPRO_DECODER``).
     """
     reader = source if isinstance(source, BitReader) else BitReader(ensure_file_reader(source))
     decode_bytes, _ = block_decoders(decoder)
@@ -82,6 +84,14 @@ class TwoStageStreamDecoder:
     block boundary, decoding *falls back* to the faster conventional mode —
     the optimization the paper credits for base64 data behaving like
     single-stage decompression (§4.4).
+
+    The marker buffer's memory layout follows the selected kernel (its
+    two-stage function's ``marker_buffer`` attribute): the legacy tier
+    fills a Python list of ints, the fused/batched tiers a native
+    little-endian ``uint16`` bytearray whose finished regions hand over
+    to the payload without per-symbol conversion. All bookkeeping here
+    (``produced``, flush cuts, ``last_marker_end``) is in symbol units
+    regardless of layout.
     """
 
     def __init__(self, window: bytes = None, max_size: int = None,
@@ -90,25 +100,36 @@ class TwoStageStreamDecoder:
         self.boundaries: list = []
         self._max_size = max_size
         self._decode_bytes, self._decode_symbols = block_decoders(decoder)
+        self._marker_u16 = (
+            getattr(self._decode_symbols, "marker_buffer", "list") == "u16"
+        )
         self._emitted = 0
         if window is None:
-            self._list_buffer = seed_marker_window()
+            self._marker_buffer = (
+                seed_marker_window_u16() if self._marker_u16 else seed_marker_window()
+            )
             self._byte_buffer = None
             self._seed_length = MAX_WINDOW_SIZE
             self._last_marker_end = MAX_WINDOW_SIZE
         else:
-            self._list_buffer = None
+            self._marker_buffer = None
             self._byte_buffer = bytearray(window[-MAX_WINDOW_SIZE:])
             self._seed_length = len(self._byte_buffer)
 
     @property
     def in_marker_mode(self) -> bool:
-        return self._list_buffer is not None
+        return self._marker_buffer is not None
+
+    def _marker_length(self) -> int:
+        """Symbol count of the marker buffer, independent of its layout."""
+        buffer = self._marker_buffer
+        return len(buffer) >> 1 if self._marker_u16 else len(buffer)
 
     @property
     def produced(self) -> int:
-        buffer = self._list_buffer if self._list_buffer is not None else self._byte_buffer
-        return self._emitted + len(buffer) - self._seed_length
+        if self._marker_buffer is not None:
+            return self._emitted + self._marker_length() - self._seed_length
+        return self._emitted + len(self._byte_buffer) - self._seed_length
 
     def _check_size(self) -> None:
         if self._max_size is not None and self.produced > self._max_size:
@@ -120,14 +141,17 @@ class TwoStageStreamDecoder:
             BlockBoundary(header.start_bit_offset, self.produced,
                           header.block_type, header.final)
         )
-        if self._list_buffer is not None:
+        if self._marker_buffer is not None:
             self._last_marker_end = self._decode_symbols(
-                reader, header, self._list_buffer, self._last_marker_end
+                reader, header, self._marker_buffer, self._last_marker_end
             )
             self._check_size()
             self._maybe_fall_back()
-            if self._list_buffer is not None and len(self._list_buffer) > _FLUSH_THRESHOLD:
-                self._flush_list(keep=MAX_WINDOW_SIZE)
+            if (
+                self._marker_buffer is not None
+                and self._marker_length() > _FLUSH_THRESHOLD
+            ):
+                self._flush_markers(keep=MAX_WINDOW_SIZE)
         else:
             self._decode_bytes(reader, header, self._byte_buffer)
             self._check_size()
@@ -142,14 +166,21 @@ class TwoStageStreamDecoder:
 
     # -- internal buffer management -------------------------------------------
 
-    def _flush_list(self, keep: int) -> None:
-        buffer = self._list_buffer
-        cut = len(buffer) - keep
+    def _flush_markers(self, keep: int) -> None:
+        buffer = self._marker_buffer
+        cut = self._marker_length() - keep
         if cut <= self._seed_length:
             return
-        self.payload.append_symbols(buffer[self._seed_length : cut])
+        if self._marker_u16:
+            view = memoryview(buffer)
+            data = bytes(view[self._seed_length << 1 : cut << 1])
+            view.release()
+            self.payload.append_symbol_bytes(data)
+            self._marker_buffer = buffer[cut << 1 :]
+        else:
+            self.payload.append_symbols(buffer[self._seed_length : cut])
+            self._marker_buffer = buffer[cut:]
         self._emitted += cut - self._seed_length
-        self._list_buffer = buffer[cut:]
         self._seed_length = 0
         self._last_marker_end = max(0, self._last_marker_end - cut)
 
@@ -171,15 +202,31 @@ class TwoStageStreamDecoder:
 
     def _maybe_fall_back(self) -> None:
         """Switch to conventional decoding once the window is marker-free."""
-        buffer = self._list_buffer
-        if len(buffer) - self._last_marker_end < MAX_WINDOW_SIZE:
+        buffer = self._marker_buffer
+        length = self._marker_length()
+        if length - self._last_marker_end < MAX_WINDOW_SIZE:
             return
-        window_values = buffer[-MAX_WINDOW_SIZE:]
-        cut = len(buffer) - MAX_WINDOW_SIZE
-        if cut > self._seed_length:
-            self.payload.append_symbols(buffer[self._seed_length : cut])
-            self._emitted += cut - self._seed_length
-        self._list_buffer = None
+        cut = length - MAX_WINDOW_SIZE
+        if self._marker_u16:
+            view = memoryview(buffer)
+            tail = bytes(view[cut << 1 :])
+            if cut > self._seed_length:
+                self.payload.append_symbol_bytes(
+                    bytes(view[self._seed_length << 1 : cut << 1])
+                )
+                self._emitted += cut - self._seed_length
+            view.release()
+            # The trailing window is marker-free (every value < 256), so
+            # narrowing to bytes is lossless.
+            window_values = (
+                np.frombuffer(tail, dtype=np.uint16).astype(np.uint8).tobytes()
+            )
+        else:
+            window_values = buffer[-MAX_WINDOW_SIZE:]
+            if cut > self._seed_length:
+                self.payload.append_symbols(buffer[self._seed_length : cut])
+                self._emitted += cut - self._seed_length
+        self._marker_buffer = None
         # The carried tail is resolved but *unemitted* output (not window
         # seed), so seed_length is 0: it still reaches the payload at the
         # next flush or finish.
@@ -188,10 +235,18 @@ class TwoStageStreamDecoder:
 
     def finish(self) -> ChunkPayload:
         """Flush everything and return the completed payload."""
-        if self._list_buffer is not None:
-            self.payload.append_symbols(self._list_buffer[self._seed_length :])
-            self._emitted += len(self._list_buffer) - self._seed_length
-            self._list_buffer = []
+        if self._marker_buffer is not None:
+            if self._marker_u16:
+                view = memoryview(self._marker_buffer)
+                data = bytes(view[self._seed_length << 1 :])
+                view.release()
+                self.payload.append_symbol_bytes(data)
+                self._emitted += self._marker_length() - self._seed_length
+                self._marker_buffer = bytearray()
+            else:
+                self.payload.append_symbols(self._marker_buffer[self._seed_length :])
+                self._emitted += len(self._marker_buffer) - self._seed_length
+                self._marker_buffer = []
             self._seed_length = 0
         else:
             view = memoryview(self._byte_buffer)

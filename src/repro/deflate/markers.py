@@ -24,6 +24,7 @@ from .constants import MARKER_FLAG, MAX_WINDOW_SIZE
 
 __all__ = [
     "seed_marker_window",
+    "seed_marker_window_u16",
     "replace_markers",
     "segment_has_markers",
     "ChunkPayload",
@@ -36,6 +37,10 @@ __all__ = [
 #: re-materializing ``range()`` for every chunk a worker decodes.
 _MARKER_WINDOW_TEMPLATE: list = None
 
+#: Same window pre-rendered as native ``uint16`` bytes for the kernels
+#: that keep their marker buffer in that layout (fused/batched tiers).
+_MARKER_WINDOW_TEMPLATE_U16: bytes = None
+
 
 def seed_marker_window() -> list:
     """The 32 Ki marker symbols that stand in for an unknown window."""
@@ -43,6 +48,21 @@ def seed_marker_window() -> list:
     if _MARKER_WINDOW_TEMPLATE is None:
         _MARKER_WINDOW_TEMPLATE = list(range(MARKER_FLAG, MARKER_FLAG + MAX_WINDOW_SIZE))
     return _MARKER_WINDOW_TEMPLATE.copy()
+
+
+def seed_marker_window_u16() -> bytearray:
+    """The marker window as a native ``uint16`` bytearray (2 bytes/symbol).
+
+    Buffer seed for the kernels that emit marker symbols in the layout
+    :func:`replace_markers` consumes directly, so finished regions hand
+    over with a ``frombuffer`` view instead of a per-symbol conversion.
+    """
+    global _MARKER_WINDOW_TEMPLATE_U16
+    if _MARKER_WINDOW_TEMPLATE_U16 is None:
+        _MARKER_WINDOW_TEMPLATE_U16 = np.arange(
+            MARKER_FLAG, MARKER_FLAG + MAX_WINDOW_SIZE, dtype=np.uint16
+        ).tobytes()
+    return bytearray(_MARKER_WINDOW_TEMPLATE_U16)
 
 
 def pad_window(window: bytes) -> bytes:
@@ -101,6 +121,17 @@ class ChunkPayload:
         if symbols:
             self.segments.append(np.asarray(symbols, dtype=np.uint16))
             self.length += len(symbols)
+
+    def append_symbol_bytes(self, data) -> None:
+        """Append first-stage symbols already in ``uint16`` memory layout.
+
+        ``data`` is the raw little-endian byte image of a symbol run (the
+        fused/batched kernels' native marker buffer); ``frombuffer`` wraps
+        it without converting or copying per symbol.
+        """
+        if data:
+            self.segments.append(np.frombuffer(data, dtype=np.uint16))
+            self.length += len(data) >> 1
 
     @property
     def nbytes(self) -> int:

@@ -113,7 +113,8 @@ def decode_chunk_range(
 
     ``window=None`` selects two-stage (marker) decoding; a ``bytes`` window
     selects conventional decoding. ``decoder`` picks the block kernel
-    (``fused``/``legacy``; default from ``$REPRO_DECODER``). Raises
+    (``fused``/``batched``/``legacy``; default from ``$REPRO_DECODER``).
+    Raises
     :class:`FormatError` if the data at ``start_bit`` is not a decodable
     chain of Deflate blocks — exactly the signal the speculative caller
     uses to advance to the next candidate.

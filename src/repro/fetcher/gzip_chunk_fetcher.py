@@ -24,7 +24,7 @@ from concurrent.futures import CancelledError
 
 from .. import faults
 from ..cache import FetchNextAdaptive, LRUCache, MemoryGovernor, parse_size
-from ..deflate.kernels import resolve_decoder
+from ..deflate.kernels import publish_kernel_stats, resolve_decoder
 from ..errors import (
     ChunkDecodeError,
     FormatError,
@@ -313,7 +313,15 @@ class GzipChunkFetcher:
                     "decode", chunk=chunk_id, mode=self.mode, kind=kind
                 )
             faults.fire("chunk.decode", chunk_id=chunk_id, attempt=attempt)
-            return self._task_for_id(chunk_id)
+            try:
+                return self._task_for_id(chunk_id)
+            finally:
+                # Drain on the thread that decoded (even on a rejected
+                # speculation): batched-kernel pass timings are
+                # thread-local until folded into the registry.
+                publish_kernel_stats(
+                    self.telemetry.metrics, self.telemetry.recorder, chunk_id
+                )
 
     def _index_bounds(self, chunk_id: int):
         """(start_bit, end_bit, expected_size, is_last) for an index chunk."""
@@ -819,15 +827,21 @@ class GzipChunkFetcher:
                 "chunk.decode", chunk_id=chunk_id, mode=self.mode,
                 kind="on_demand", attempt=attempt,
             ):
-                return decode_chunk_range(
-                    self.file_reader,
-                    start_bit,
-                    stop_bit,
-                    window,
-                    max_output=self.max_chunk_output,
-                    split_output=self.chunk_split_size,
-                    decoder=self.decoder,
-                )
+                try:
+                    return decode_chunk_range(
+                        self.file_reader,
+                        start_bit,
+                        stop_bit,
+                        window,
+                        max_output=self.max_chunk_output,
+                        split_output=self.chunk_split_size,
+                        decoder=self.decoder,
+                    )
+                finally:
+                    publish_kernel_stats(
+                        self.telemetry.metrics, self.telemetry.recorder,
+                        chunk_id,
+                    )
         return self._run_chunk_task(chunk_id, "on_demand", attempt=attempt)
 
     # -- statistics ----------------------------------------------------------------
@@ -853,6 +867,16 @@ class GzipChunkFetcher:
             "mode": self.mode,
             "backend": self.backend,
             "decoder": self.decoder,
+            # Batched-kernel pass attribution (zeros unless the batched
+            # tier ran); worker-process contributions arrive through the
+            # outcome merge, thread-backend ones through the task drain.
+            "kernel": {
+                name: self.telemetry.metrics.counter(f"decode.{name}").value
+                for name in (
+                    "batched_pass1_ns", "batched_pass2_ns",
+                    "batched_copy_bytes",
+                )
+            },
             "memory": memory,
             "chunk_split_size": self.chunk_split_size,
             "chunk_splits": self._chunk_splits.value,

@@ -31,6 +31,7 @@ import multiprocessing
 from dataclasses import dataclass, field
 
 from .. import faults
+from ..deflate import publish_kernel_stats
 from ..errors import FormatError, UsageError
 from ..io import FileReader, MemoryFileReader, StandardFileReader
 from ..telemetry import Telemetry
@@ -159,8 +160,8 @@ class ChunkTaskSpec:
     # active FaultInjector (or None) — travels with the task so chunk
     # faults fire in whichever process actually decodes the chunk
     faults: object = None
-    # block-decode kernel for the Deflate paths ("fused"/"legacy"; None
-    # lets the worker resolve $REPRO_DECODER itself)
+    # block-decode kernel for the Deflate paths ("fused"/"batched"/
+    # "legacy"; None lets the worker resolve $REPRO_DECODER itself)
     decoder: str = None
     # telemetry plumbing (trace_origin doubles as the event-log origin
     # when tracing is off but event logging is on)
@@ -228,6 +229,10 @@ def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
                 attempt=spec.attempt, error=repr(error),
             )
         result = None
+    # Batched-kernel pass timings accumulate thread-locally inside the
+    # kernels; fold them into this task's metrics so they ride the
+    # outcome's export_state back to the parent (success or reject).
+    publish_kernel_stats(telemetry.metrics, recorder, spec.chunk_id)
     return RemoteChunkOutcome(
         result=result,
         metrics=telemetry.metrics.export_state(),

@@ -30,16 +30,24 @@ tables are never widened; see :func:`fused_distance_table`.
 
 Entry packing (literal/length table)::
 
-    bits 0-4   total bits consumed by the lookup (0 = invalid prefix)
-    bit  5     control flag: 0 = emission, 1 = length or end-of-block
+    bits 0-4   total bits consumed by the lookup
+    bit  5     control flag: 0 = emission, 1 = length / end-of-block / invalid
     bits 6+    payload
 
     emission payload: a byte value (< 256) or EMIT_PAIR_OFFSET + (b1 |
     b2 << 8) for a two-literal entry — an index into the kernels' emit
-    table. Control payload: 0 for end-of-block; else a complete match
-    length (< 512, extra bits already counted in bits 0-4) or
-    ``base | extra << 9`` with ``extra`` bits still to consume (then
-    always >= 512 since extra >= 1).
+    table. Control payload: 0 for end-of-block;
+    :data:`INVALID_PAYLOAD` (1) for an invalid prefix (consumes 0
+    bits); else a complete match length (3 <= length < 512, extra bits
+    already counted in bits 0-4) or ``base | extra << 9`` with
+    ``extra`` bits still to consume (then always >= 512 since extra
+    >= 1).
+
+    Invalid prefixes are *control* entries, not zero entries: every
+    emission entry therefore consumes at least one bit, so the kernels'
+    literal fast path — including the batched kernel's chained lookups —
+    needs no per-symbol validity branch; the control path rejects
+    payload 1 instead.
 
 Entry packing (distance table)::
 
@@ -63,13 +71,19 @@ __all__ = [
     "FusedDecoder",
     "MAX_TABLE_WIDTH",
     "CONTROL_FLAG",
+    "INVALID_PAYLOAD",
+    "INVALID_ENTRY",
     "EMIT_PAIR_OFFSET",
     "fused_literal_table",
     "fused_distance_table",
 ]
 
-#: Bit 5 of a literal-table entry: set for length / end-of-block entries.
+#: Bit 5 of a literal-table entry: set for length / end-of-block / invalid.
 CONTROL_FLAG = 32
+#: Control payload marking an invalid prefix (real lengths are 0 or >= 3).
+INVALID_PAYLOAD = 1
+#: A complete invalid-prefix entry: control flag, payload 1, 0 bits consumed.
+INVALID_ENTRY = CONTROL_FLAG | (INVALID_PAYLOAD << 6)
 #: Two-literal emission payloads are offset past the 256 single bytes.
 EMIT_PAIR_OFFSET = 256
 
@@ -123,8 +137,8 @@ def fused_literal_table(decoder):
     fused[is_literal] = lengths[is_literal] | (symbols[is_literal] << 6)
     is_end = symbols == 256
     fused[is_end] = lengths[is_end] | CONTROL_FLAG
-    # Length codes 257..285; 286/287 stay 0 so the stream fails exactly
-    # where the legacy loop rejects them.
+    # Length codes 257..285; 286/287 become invalid entries below, failing
+    # exactly where the legacy loop rejects them.
     is_length = (symbols > 256) & (symbols <= 285)
     if is_length.any():
         length_index = symbols[is_length] - 257
@@ -166,6 +180,12 @@ def fused_literal_table(decoder):
                 | ((EMIT_PAIR_OFFSET + (symbols[is_literal] | (second_sym << 8))) << 6)
             )
             fused[is_literal] = np.where(packable, packed, fused[is_literal])
+
+    # Invalid prefixes (unassigned canonical slots and the reserved length
+    # symbols 286/287) become control entries so the stream still fails at
+    # exactly the lookup where the legacy loop rejects it, without the
+    # emission path ever needing a validity branch.
+    fused[fused == 0] = INVALID_ENTRY
 
     cached = (fused.tolist(), (1 << width) - 1)
     decoder.fused_literal = cached

@@ -122,10 +122,12 @@ class ParallelGzipReader:
         retryable timeout (also arming the process pool's watchdog).
 
         ``decoder`` selects the Deflate block-decode kernel: ``"fused"``
-        (default, the table-fused fast loops) or ``"legacy"`` (the
-        symbol-at-a-time reference loops); ``None`` resolves
-        ``$REPRO_DECODER``. Both produce byte-identical output — the knob
-        exists for benchmarking and as an escape hatch.
+        (default, the table-fused fast loops), ``"batched"`` (two-pass:
+        resolve symbols scalar, materialize output vectorized — fastest
+        on literal-heavy data), or ``"legacy"`` (the symbol-at-a-time
+        reference loops); ``None`` resolves ``$REPRO_DECODER``. All
+        produce byte-identical output — the knob exists for benchmarking
+        and as an escape hatch.
 
         ``trace=True`` records chunk-lifecycle spans for the whole pipeline
         (reader, fetcher, pool workers, block finders); export them with

@@ -1,10 +1,12 @@
-"""Differential tests for the fused Deflate decode kernels.
+"""Differential tests for the fused and batched Deflate decode kernels.
 
-The fused kernels (``repro.deflate.kernels``) must be byte-for-byte
-interchangeable with the legacy loops in every mode: conventional decode,
-two-stage (marker) decode including the exact marker symbols, error
-behavior on truncated input, and through the fetcher/reader pipeline.
-zlib is the external referee wherever a complete stream is decoded.
+The fast kernels (``repro.deflate.kernels``) must be byte-for-byte
+interchangeable with the legacy loops — and with zlib wherever a complete
+stream is decoded — in every mode: conventional decode, two-stage
+(marker) decode including the exact marker symbols, error behavior on
+truncated input, and through the fetcher/reader pipeline. Every
+differential is parametrized over the full decoder matrix
+(``fused``/``batched``/``legacy``).
 """
 
 import gzip as stdlib_gzip
@@ -16,6 +18,7 @@ import pytest
 
 from repro.datagen import generate_base64, generate_fastq, generate_silesia_like
 from repro.deflate import (
+    DECODER_NAMES,
     TwoStageStreamDecoder,
     inflate,
     read_block_header,
@@ -36,6 +39,9 @@ from .deflate_writer_util import (
     encode_fixed_block,
     encode_fixed_block_with_match,
 )
+
+DECODERS = DECODER_NAMES  # ("fused", "batched", "legacy")
+FAST_DECODERS = ("fused", "batched")  # kernels with a legacy referee
 
 
 def raw_deflate(data: bytes, level: int = 6, zdict: bytes = None) -> bytes:
@@ -77,71 +83,82 @@ CORPORA = make_corpora()
 class TestConventionalDifferential:
     @pytest.mark.parametrize("name", sorted(CORPORA))
     @pytest.mark.parametrize("level", [1, 6, 9])
-    def test_fused_matches_legacy_and_zlib(self, name, level):
+    def test_kernels_match_legacy_and_zlib(self, name, level):
         data = CORPORA[name]
         compressed = raw_deflate(data, level)
-        fused = inflate(compressed, decoder="fused")
-        legacy = inflate(compressed, decoder="legacy")
-        assert fused.data == legacy.data == data
-        assert fused.end_bit_offset == legacy.end_bit_offset
-        assert [
-            (b.bit_offset, b.output_offset, b.block_type, b.is_final)
-            for b in fused.boundaries
-        ] == [
-            (b.bit_offset, b.output_offset, b.block_type, b.is_final)
-            for b in legacy.boundaries
-        ]
+        results = {dec: inflate(compressed, decoder=dec) for dec in DECODERS}
+        legacy = results["legacy"]
+        assert legacy.data == data  # zlib round-trip referee
+        for dec in FAST_DECODERS:
+            assert results[dec].data == legacy.data, dec
+            assert results[dec].end_bit_offset == legacy.end_bit_offset, dec
+            assert [
+                (b.bit_offset, b.output_offset, b.block_type, b.is_final)
+                for b in results[dec].boundaries
+            ] == [
+                (b.bit_offset, b.output_offset, b.block_type, b.is_final)
+                for b in legacy.boundaries
+            ], dec
 
+    @pytest.mark.parametrize("decoder", FAST_DECODERS)
     @pytest.mark.parametrize("level", [0, 6])
-    def test_stored_blocks(self, level):
-        # level 0 produces stored blocks; the fused entry point must route
+    def test_stored_blocks(self, decoder, level):
+        # level 0 produces stored blocks; the fast entry points must route
         # them through the legacy loop untouched.
         data = CORPORA["silesia"]
         compressed = raw_deflate(data, level)
-        assert inflate(compressed, decoder="fused").data == data
+        assert inflate(compressed, decoder=decoder).data == data
 
-    def test_fixed_block(self):
+    @pytest.mark.parametrize("decoder", DECODERS)
+    def test_fixed_block(self, decoder):
         compressed = encode_fixed_block(b"hello fused world")
-        assert inflate(compressed, decoder="fused").data == b"hello fused world"
-        assert inflate(compressed, decoder="legacy").data == b"hello fused world"
+        assert inflate(compressed, decoder=decoder).data == b"hello fused world"
 
-    def test_fixed_block_with_match(self):
-        compressed = encode_fixed_block_with_match(4, length=12, prefix=b"abcd")
-        fused = inflate(compressed, decoder="fused").data
-        legacy = inflate(compressed, decoder="legacy").data
-        assert fused == legacy == b"abcd" + (b"abcd" * 3)
+    @pytest.mark.parametrize("decoder", DECODERS)
+    @pytest.mark.parametrize("distance", list(range(1, 9)))
+    def test_overlapping_copy_distances(self, decoder, distance):
+        # Overlapping matches (distance < length) exercise the batched
+        # kernel's repeat-trick copy at every small period.
+        prefix = bytes(range(97, 97 + distance))
+        compressed = encode_fixed_block_with_match(
+            distance, length=29, prefix=prefix
+        )
+        expected = prefix + (prefix * (29 // distance + 1))[:29]
+        assert inflate(compressed, decoder=decoder).data == expected
 
-    def test_window_seeded_decode(self):
+    @pytest.mark.parametrize("decoder", DECODERS)
+    def test_window_seeded_decode(self, decoder):
         window = bytes(range(256)) * 64
         data = window[1000:3000] + b"fresh tail data" * 50
         compressed = raw_deflate(data, 9, zdict=window)
-        fused = inflate(compressed, window=window, decoder="fused")
-        legacy = inflate(compressed, window=window, decoder="legacy")
-        assert fused.data == legacy.data == data
+        assert inflate(compressed, window=window, decoder=decoder).data == data
 
-    def test_max_size_enforced(self):
+    @pytest.mark.parametrize("decoder", DECODERS)
+    def test_max_size_enforced(self, decoder):
         compressed = raw_deflate(b"y" * 100_000, 6)
         with pytest.raises(DeflateError):
-            inflate(compressed, max_size=1000, decoder="fused")
+            inflate(compressed, max_size=1000, decoder=decoder)
 
+    @pytest.mark.parametrize("decoder", FAST_DECODERS)
     @pytest.mark.parametrize("level", [1, 6])
-    def test_random_small_inputs(self, level):
+    def test_random_small_inputs(self, decoder, level):
         rng = random.Random(4321)
         for _ in range(30):
             size = rng.randrange(0, 2000)
             data = bytes(rng.randrange(256) for _ in range(size))
             compressed = raw_deflate(data, level)
-            assert inflate(compressed, decoder="fused").data == data
+            assert inflate(compressed, decoder=decoder).data == data
 
 
 class TestMarkerModeDifferential:
+    @pytest.mark.parametrize("decoder", FAST_DECODERS)
     @pytest.mark.parametrize("name", ["base64", "silesia", "rle", "pairs"])
-    def test_symbol_streams_identical(self, name):
+    def test_symbol_streams_identical(self, decoder, name):
         compressed = raw_deflate(CORPORA[name], 6)
-        fused = two_stage_segments(compressed, "fused")
+        fast = two_stage_segments(compressed, decoder)
         legacy = two_stage_segments(compressed, "legacy")
-        assert len(fused) == len(legacy)
-        for seg_f, seg_l in zip(fused, legacy):
+        assert len(fast) == len(legacy)
+        for seg_f, seg_l in zip(fast, legacy):
             if isinstance(seg_f, bytes):
                 assert seg_f == seg_l
             else:
@@ -152,7 +169,7 @@ class TestMarkerModeDifferential:
         data = window[:5000] + b"new data" * 100
         compressed = raw_deflate(data, 9, zdict=window[-32768:])
         reader_out = {}
-        for dec in ("fused", "legacy"):
+        for dec in DECODERS:
             reader = BitReader(compressed)
             stream = TwoStageStreamDecoder(window=None, decoder=dec)
             while True:
@@ -160,7 +177,28 @@ class TestMarkerModeDifferential:
                 if header.final:
                     break
             reader_out[dec] = stream.finish().materialize(window[-32768:])
-        assert reader_out["fused"] == reader_out["legacy"] == data
+        assert all(out == data for out in reader_out.values()), {
+            dec: out == data for dec, out in reader_out.items()
+        }
+
+    @pytest.mark.parametrize("decoder", DECODERS)
+    @pytest.mark.parametrize("distance", [1, 2, 3, 5, 8])
+    def test_overlapping_copies_into_marker_window(self, decoder, distance):
+        # A match at the very start of a windowless chunk copies *marker*
+        # symbols with a small period — the taint-tracking path of the
+        # batched u16 materializer.
+        prefix = bytes(range(65, 65 + distance))
+        compressed = encode_fixed_block_with_match(
+            distance, length=17, prefix=prefix
+        )
+        window = bytes(range(200, 200 + 32)) * 1024
+        reader = BitReader(compressed)
+        stream = TwoStageStreamDecoder(window=None, decoder=decoder)
+        while True:
+            if stream.read_and_decode_block(reader).final:
+                break
+        expected = prefix + (prefix * (17 // distance + 1))[:17]
+        assert stream.finish().materialize(window) == expected
 
 
 class TestTruncationParity:
@@ -172,20 +210,23 @@ class TestTruncationParity:
         for cut in cuts:
             piece = compressed[:cut]
             outcomes = {}
-            for dec in ("fused", "legacy"):
+            for dec in DECODERS:
                 try:
                     outcomes[dec] = ("ok", inflate(piece, decoder=dec).data)
                 except ReproError as error:
                     outcomes[dec] = ("error", type(error).__name__)
             assert outcomes["fused"] == outcomes["legacy"], cut
+            assert outcomes["batched"] == outcomes["legacy"], cut
 
-    def test_exact_eof_tail(self):
-        # Streams ending within the kernel's 48-bit EOF zone delegate to
-        # the legacy loop — outputs must still be complete and identical.
+    @pytest.mark.parametrize("decoder", FAST_DECODERS)
+    def test_exact_eof_tail(self, decoder):
+        # Streams ending within the kernels' EOF refill zones (48 bits
+        # fused, 78 bits batched) delegate to the legacy tail loops —
+        # outputs must still be complete and identical.
         for size in (1, 7, 64, 257, 4096):
             data = b"z" * size
             compressed = raw_deflate(data, 6)
-            assert inflate(compressed, decoder="fused").data == data
+            assert inflate(compressed, decoder=decoder).data == data
 
 
 class TestFusedTables:
@@ -236,14 +277,33 @@ class TestDecoderSelection:
         assert resolve_decoder(None) == "fused"
         assert resolve_decoder("auto") == "fused"
 
-    def test_resolve_env_override(self, monkeypatch):
-        monkeypatch.setenv("REPRO_DECODER", "legacy")
-        assert resolve_decoder(None) == "legacy"
+    @pytest.mark.parametrize("decoder", DECODERS)
+    def test_resolve_env_override(self, monkeypatch, decoder):
+        monkeypatch.setenv("REPRO_DECODER", decoder)
+        assert resolve_decoder(None) == decoder
         assert resolve_decoder("fused") == "fused"  # explicit beats env
 
     def test_resolve_rejects_unknown(self):
-        with pytest.raises(UsageError):
+        with pytest.raises(UsageError) as excinfo:
             resolve_decoder("turbo")
+        # The error must enumerate every valid tier.
+        for name in DECODER_NAMES:
+            assert name in str(excinfo.value)
+
+    def test_resolve_rejects_unknown_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODER", "turbo")
+        with pytest.raises(UsageError):
+            resolve_decoder(None)
+
+    def test_cli_rejects_unknown_decoder(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["file.gz", "--decoder", "turbo"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        for name in DECODER_NAMES:
+            assert name in stderr
 
     def test_block_decoders_pairs(self):
         from repro.deflate.block import (
@@ -251,7 +311,9 @@ class TestDecoderSelection:
             decode_block_two_stage,
         )
         from repro.deflate.kernels import (
+            decode_block_into_bytearray_batched,
             decode_block_into_bytearray_fused,
+            decode_block_two_stage_batched,
             decode_block_two_stage_fused,
         )
 
@@ -263,10 +325,14 @@ class TestDecoderSelection:
             decode_block_into_bytearray_fused,
             decode_block_two_stage_fused,
         )
+        assert block_decoders("batched") == (
+            decode_block_into_bytearray_batched,
+            decode_block_two_stage_batched,
+        )
 
 
 class TestPipelineParity:
-    @pytest.mark.parametrize("decoder", ["fused", "legacy"])
+    @pytest.mark.parametrize("decoder", DECODERS)
     def test_parallel_reader_search_mode(self, decoder):
         from repro.reader import decompress_parallel
 
@@ -280,7 +346,22 @@ class TestPipelineParity:
         )
         assert out == data
 
-    @pytest.mark.parametrize("decoder", ["fused", "legacy"])
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_parallel_reader_batched_backends(self, backend):
+        from repro.reader import decompress_parallel
+
+        data = generate_base64(400_000, seed=22)
+        blob = stdlib_gzip.compress(data, 6)
+        out = decompress_parallel(
+            io.BytesIO(blob),
+            parallelization=2,
+            chunk_size=128 * 1024,
+            backend=backend,
+            decoder="batched",
+        )
+        assert out == data
+
+    @pytest.mark.parametrize("decoder", DECODERS)
     def test_fetcher_statistics_report_decoder(self, decoder):
         from repro.fetcher import GzipChunkFetcher
 
@@ -289,9 +370,27 @@ class TestPipelineParity:
             io.BytesIO(blob), chunk_size=64 * 1024, decoder=decoder
         )
         try:
-            assert fetcher.statistics()["decoder"] == decoder
+            stats = fetcher.statistics()
+            assert stats["decoder"] == decoder
+            assert set(stats["kernel"]) == {
+                "batched_pass1_ns", "batched_pass2_ns", "batched_copy_bytes"
+            }
         finally:
             fetcher.close()
+
+    def test_batched_kernel_counters_populate(self):
+        from repro.reader import ParallelGzipReader
+
+        data = generate_base64(300_000, seed=8)
+        blob = stdlib_gzip.compress(data, 6)
+        with ParallelGzipReader(
+            io.BytesIO(blob), parallelization=2, chunk_size=64 * 1024,
+            decoder="batched",
+        ) as reader:
+            assert reader.read() == data
+            kernel = reader.statistics()["kernel"]
+        assert kernel["batched_pass1_ns"] > 0
+        assert kernel["batched_pass2_ns"] > 0
 
     def test_spec_carries_decoder(self):
         from repro.fetcher import GzipChunkFetcher
