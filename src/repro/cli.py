@@ -130,8 +130,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     group = parser.add_argument_group("index")
-    group.add_argument("--export-index", metavar="FILE", help="write seek index")
-    group.add_argument("--import-index", metavar="FILE", help="load seek index")
+    group.add_argument(
+        "--export-index",
+        metavar="FILE",
+        help="build the seek index and persist it crash-safely "
+        "(checksummed format with a source fingerprint, atomic "
+        "temp-file + rename write)",
+    )
+    group.add_argument(
+        "--import-index",
+        metavar="FILE",
+        help="decompress via a saved seek index; strict: any integrity "
+        "or binding failure aborts with exit code 8 naming the failed "
+        "check (use --index-cache for the tolerant fall-back behavior)",
+    )
+    group.add_argument(
+        "--index-cache",
+        metavar="DIR",
+        help="persistent index cache directory: a matching index is "
+        "imported on open and one is atomically exported after the "
+        "first full decode; a stale or corrupted entry falls back to "
+        "the full parallel search (notice on stderr, exit 0) and is "
+        "re-exported afterwards",
+    )
+    group.add_argument(
+        "--index-validate",
+        default="eager",
+        choices=["eager", "lazy", "off"],
+        help="validation policy for imported indexes: eager (default) "
+        "checks every window checksum up front, lazy defers window "
+        "checks to first use (damage re-decodes just that interval), "
+        "off checks structure only",
+    )
 
     actions = parser.add_argument_group("alternative actions")
     actions.add_argument(
@@ -329,14 +359,22 @@ def _dispatch(arguments) -> int:
     if arguments.analyze:
         return _cmd_analyze(_read_input(arguments.file))
 
-    from .index import GzipIndex
+    from .index import load_index
     from .reader import ParallelGzipReader
+
+    source = _read_input(arguments.file) if arguments.file == "-" else arguments.file
 
     index = None
     if arguments.import_index:
-        index = GzipIndex.load(arguments.import_index)
+        # Strict by design: an explicitly named index the user cannot
+        # trust is an error (exit code 8, stderr names the failed
+        # check), unlike the tolerant --index-cache auto-import.
+        index = load_index(
+            arguments.import_index,
+            source=source if arguments.file != "-" else None,
+            validate=arguments.index_validate,
+        )
 
-    source = _read_input(arguments.file) if arguments.file == "-" else arguments.file
     explain = bool(arguments.explain or arguments.explain_json)
     started = time.perf_counter()
     reader = ParallelGzipReader(
@@ -345,6 +383,8 @@ def _dispatch(arguments) -> int:
         chunk_size=arguments.chunk_size * 1024,
         verify=not arguments.no_verify,
         index=index,
+        index_cache=arguments.index_cache,
+        index_validate=arguments.index_validate,
         backend=arguments.backend,
         tolerate_corruption=arguments.tolerate_corruption,
         max_retries=arguments.max_retries,
@@ -365,7 +405,7 @@ def _dispatch(arguments) -> int:
         )
     try:
         if arguments.export_index:
-            reader.export_index(arguments.export_index)
+            reader.export_index_atomic(arguments.export_index)
 
         if arguments.count:
             print(reader.size())
@@ -404,7 +444,18 @@ def _dispatch(arguments) -> int:
 
 def _report_observability(arguments, reader, wall_time: float) -> None:
     """Emit --trace/--profile/--stats output after any reader action."""
-    if reader.damage_report.damaged:
+    report = reader.damage_report
+    index_regions = [r for r in report.regions if r.kind == "index"]
+    for region in index_regions:
+        # Index incidents lost no data — the fast path was bypassed and
+        # the bytes re-decoded — so they get a notice, not the damage
+        # banner, and never affect the exit code.
+        print(
+            f"rapidgzip-py: index fallback: {region.detail}; "
+            f"re-decoded without the index, output is complete",
+            file=sys.stderr,
+        )
+    if any(region.kind != "index" for region in report.regions):
         print(
             f"rapidgzip-py: damage tolerated:\n"
             f"{reader.damage_report.summary()}",

@@ -64,6 +64,36 @@ class RecoveryError(ReproError):
     """Corrupted-file recovery could not locate any decodable region."""
 
 
+class IndexIntegrityError(ReproError):
+    """A persistent seek index failed an integrity or binding check.
+
+    Raised by :mod:`repro.index.store` when an on-disk index cannot be
+    trusted: bad magic or a future version, truncation, a window or
+    footer CRC mismatch, a fingerprint that no longer matches the
+    compressed source file, or a zlib error while inflating a lazily
+    loaded window. ``check`` names the specific validation that failed
+    (``"magic"``, ``"version"``, ``"truncated"``, ``"window_crc"``,
+    ``"window_inflate"``, ``"window_length"``, ``"footer_crc"``,
+    ``"fingerprint"``, ``"finalized"``, ``"order"``, ``"io"``,
+    ``"injected"``); ``path`` and ``offset`` locate the damage when
+    known. Under the default tolerant policy the reader records the
+    failure and falls back to search-mode decode instead of letting
+    this escape; strict imports surface it as CLI exit code 8.
+    """
+
+    def __init__(self, message: str, *, check: str = None, path=None,
+                 offset: int = None, point: int = None):
+        super().__init__(message)
+        self.check = check
+        self.path = path
+        self.offset = offset
+        self.point = point
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        return f"[{self.check}] {message}" if self.check else message
+
+
 class ChunkDecodeError(ReproError):
     """A chunk could not be produced after the full retry ladder.
 
@@ -88,6 +118,7 @@ EXIT_FORMAT = 4
 EXIT_INTEGRITY = 5
 EXIT_WORKER_CRASH = 6
 EXIT_RECOVERY = 7
+EXIT_INDEX = 8
 
 
 def exit_code_for(error: BaseException) -> int:
@@ -100,6 +131,8 @@ def exit_code_for(error: BaseException) -> int:
     cursor = error
     while cursor is not None and id(cursor) not in seen:
         seen.add(id(cursor))
+        if isinstance(cursor, IndexIntegrityError):
+            return EXIT_INDEX
         if isinstance(cursor, RecoveryError):
             return EXIT_RECOVERY
         if isinstance(cursor, WorkerCrashedError):

@@ -40,7 +40,13 @@ import random
 import time
 from dataclasses import dataclass
 
-from .errors import FormatError, TruncatedError, UsageError, WorkerCrashedError
+from .errors import (
+    FormatError,
+    IndexIntegrityError,
+    TruncatedError,
+    UsageError,
+    WorkerCrashedError,
+)
 
 __all__ = [
     "FaultInjector",
@@ -60,6 +66,9 @@ SITES = (
     "chunk.decode",  # chunk task body (worker thread or worker process)
     "chunk.on_demand",  # serial in-process fallback decode
     "worker.task",  # process-pool child, before executing any task
+    "index.load",  # persistent index import (store.load_index)
+    "index.window",  # seek-point window validation/inflation
+    "index.export",  # persistent index export (store.save_index)
 )
 
 
@@ -111,7 +120,8 @@ class FaultSpec:
     ``site`` names a hook point from :data:`SITES`. ``kind`` is one of:
 
     * ``"raise"`` — raise an exception (``error`` picks the class:
-      ``"injected"``/``"format"``/``"truncated"``/``"crash"``);
+      ``"injected"``/``"format"``/``"truncated"``/``"crash"``/
+      ``"index"``);
     * ``"delay"`` — sleep ``delay_seconds`` then continue;
     * ``"stall"`` — like delay, semantically "this task hung" (use with
       a watchdog/timeout that should fire first);
@@ -150,11 +160,16 @@ class FaultSpec:
         return self
 
 
+def _injected_index_error(message: str) -> IndexIntegrityError:
+    return IndexIntegrityError(message, check="injected")
+
+
 _ERROR_CLASSES = {
     "injected": InjectedError,
     "format": FormatError,
     "truncated": TruncatedError,
     "crash": WorkerCrashedError,
+    "index": _injected_index_error,
 }
 
 

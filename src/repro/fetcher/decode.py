@@ -349,12 +349,32 @@ def _resolve_footer_byte(file_reader, end_of_consumed_bit: int) -> int:
     return low + 1
 
 
+def _starts_with_stored_block(file_reader, bit_offset: int) -> bool:
+    """True if the Deflate block header at ``bit_offset`` is type 00.
+
+    Stored blocks pad to *original-file* byte boundaries; after the bit
+    shift zlib would pad to shifted boundaries instead and read LEN/NLEN
+    five-odd bits astray. Usually that dies loudly on the NLEN check, but
+    one time in 2^16 the garbage complement matches and zlib emits silent
+    garbage — so an unaligned stored chunk start must never reach zlib.
+    (A chunk of an all-stored stream hits this systematically: its seek
+    points sit inside the previous block's zero padding, which itself
+    parses as a type-00 header.)
+    """
+    reader = BitReader(file_reader)
+    reader.seek(bit_offset)
+    reader.read(1)  # BFINAL
+    return reader.read(2) == 0
+
+
 def zlib_decode_range(
     file_reader,
     start_bit: int,
     end_bit: int,
     window: bytes,
     expected_size: int = None,
+    next_window: bytes = None,
+    require_stream_end: bool = False,
 ) -> ChunkResult:
     """Index fast path: delegate the known range to zlib (paper §3.3).
 
@@ -365,13 +385,29 @@ def zlib_decode_range(
     decompressor at each following member. Output is clipped to
     ``expected_size`` because the trailing bits of the shifted buffer may
     partially contain the next chunk's first block.
+
+    Delegation is *checked*, never trusted: stored blocks at unaligned
+    offsets are refused up front (their byte-alignment padding does not
+    survive the bit shift), the final chunk must actually reach its
+    stream's end, and when the caller knows the next seek point's window
+    (``next_window``) the decoded tail must reproduce it exactly. Any
+    violation raises :class:`FormatError`, which the callers answer by
+    re-decoding the interval with the bit-exact two-stage decoder.
     """
     range_end = end_bit or file_reader.size() * 8
     payload = ChunkPayload()
     events: list = []
     current_bit = _skip_member_header(file_reader, start_bit)
     current_window = window
+    stream_ended = False
     while current_bit < range_end:
+        if current_bit % 8 and _starts_with_stored_block(
+            file_reader, current_bit
+        ):
+            raise FormatError(
+                f"stored block at unaligned bit offset {current_bit}: "
+                f"zlib delegation cannot shift byte-aligned LEN/NLEN"
+            )
         data = shift_to_byte_alignment(file_reader, current_bit, range_end)
         if current_window:
             decompressor = zlib.decompressobj(wbits=-15, zdict=current_window)
@@ -384,6 +420,7 @@ def zlib_decode_range(
         payload.append_bytes(piece)
         if not decompressor.eof:
             break  # chunk boundary mid-stream: the normal case
+        stream_ended = True
 
         # Stream ended inside the chunk: locate the footer in the file.
         consumed = len(data) - len(decompressor.unused_data)
@@ -411,7 +448,13 @@ def zlib_decode_range(
         events.append(StreamEvent("header", payload.length))
         current_bit = reader.tell()  # byte-aligned: next shift is trivial
         current_window = b""
+        stream_ended = False
 
+    if require_stream_end and not stream_ended:
+        raise FormatError(
+            "zlib delegation consumed the final chunk without reaching "
+            "end of stream"
+        )
     if expected_size is not None:
         if payload.length < expected_size:
             raise FormatError(
@@ -420,6 +463,13 @@ def zlib_decode_range(
             )
         if payload.length > expected_size:
             _truncate_payload(payload, expected_size)
+    if next_window:
+        overlap = min(len(next_window), payload.length)
+        if overlap and _payload_tail(payload, overlap) != next_window[-overlap:]:
+            raise FormatError(
+                "zlib delegation output does not reproduce the next seek "
+                "point's window"
+            )
     return ChunkResult(
         start_bit=start_bit,
         end_bit=end_bit,
@@ -429,6 +479,19 @@ def zlib_decode_range(
         window_known=True,
         compressed_size_bits=(end_bit or 0) - start_bit,
     )
+
+
+def _payload_tail(payload: ChunkPayload, size: int) -> bytes:
+    """Last ``size`` bytes of an all-bytes payload (the zlib path never
+    appends marker segments)."""
+    pieces = []
+    remaining = size
+    for segment in reversed(payload.segments):
+        if remaining <= 0:
+            break
+        pieces.append(bytes(segment)[-remaining:])
+        remaining -= len(pieces[-1])
+    return b"".join(reversed(pieces))
 
 
 def _truncate_payload(payload: ChunkPayload, size: int) -> None:
@@ -456,19 +519,23 @@ def decode_index_chunk(
     is_last: bool = False,
     max_output: int = None,
     decoder: str = None,
+    next_window: bytes = None,
 ) -> ChunkResult:
     """Decode one index-interval chunk: zlib fast path, our decoder as
     fallback (paper §3.3).
 
     Shared by the fetcher's thread tasks and the process backend's child
     entry point, so both backends decode index chunks identically. Streams
-    the shifted-buffer zlib path cannot cleanly cut (e.g. member
-    boundaries flush-aligned oddly) fall back to the two-stage decoder in
-    conventional mode.
+    the shifted-buffer zlib path cannot cleanly cut (unaligned stored
+    blocks, member boundaries flush-aligned oddly, a tail that fails to
+    reproduce ``next_window``) fall back to the two-stage decoder in
+    conventional mode, which is bit-exact by construction.
     """
     try:
         result = zlib_decode_range(
-            file_reader, start_bit, end_bit, window, expected_size=expected_size
+            file_reader, start_bit, end_bit, window,
+            expected_size=expected_size, next_window=next_window,
+            require_stream_end=is_last,
         )
     except FormatError:
         result = decode_chunk_range(

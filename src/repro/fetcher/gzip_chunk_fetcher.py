@@ -28,10 +28,12 @@ from ..deflate.kernels import publish_kernel_stats, resolve_decoder
 from ..errors import (
     ChunkDecodeError,
     FormatError,
+    IndexIntegrityError,
     UsageError,
     WorkerCrashedError,
 )
 from ..gz.bgzf import bgzf_block_offsets, is_bgzf
+from ..index.store import window_bytes
 from ..io import ensure_file_reader
 from ..pool import (
     PRIORITY_ON_DEMAND,
@@ -42,6 +44,7 @@ from ..pool import (
 from ..telemetry import Telemetry
 from .decode import (
     ChunkResult,
+    StreamEvent,
     decode_bgzf_members,
     decode_chunk_range,
     decode_index_chunk,
@@ -214,6 +217,11 @@ class GzipChunkFetcher:
         self._ladder_pool_unavailable = metrics.counter(
             "fetcher.ladder_pool_unavailable"
         )
+        self._index_fallbacks = metrics.counter("index.fallbacks")
+        self._index_chunks = metrics.counter("decode.index_chunks")
+        #: Hook the reader installs to account an index-window fallback
+        #: (damage record + lifecycle event); called as (chunk_id, error).
+        self.on_index_fallback = None
         metrics.probe(
             "cache.prefetch", lambda: self.prefetch_cache.snapshot()
         )
@@ -335,17 +343,116 @@ class GzipChunkFetcher:
         expected = self._index.uncompressed_size - point.uncompressed_offset
         return point, end_bit, expected, True
 
+    def _next_window_for(self, chunk_id: int):
+        """The next seek point's window, for tail verification of the
+        zlib-delegated decode — or ``None`` when there is no next point,
+        it starts a new stream, or its window fails its own validation
+        (that chunk will fall back on its own turn)."""
+        if chunk_id + 1 >= len(self._index):
+            return None
+        next_point = self._index[chunk_id + 1]
+        if next_point.is_stream_start:
+            return None
+        try:
+            return window_bytes(next_point.window) or None
+        except IndexIntegrityError:
+            return None
+
     def _decode_index_chunk(self, chunk_id: int) -> ChunkResult:
         point, end_bit, expected, is_last = self._index_bounds(chunk_id)
+        try:
+            window = window_bytes(point.window)
+        except IndexIntegrityError as error:
+            return self._decode_index_fallback(chunk_id, error)
+        self._index_chunks.increment()
         return decode_index_chunk(
             self.file_reader,
             point.compressed_bit_offset,
             end_bit,
-            point.window,
+            window,
             expected_size=expected,
             is_last=is_last,
             max_output=self.max_chunk_output,
             decoder=self.decoder,
+            next_window=self._next_window_for(chunk_id),
+        )
+
+    def _decode_index_fallback(self, chunk_id: int,
+                               error: IndexIntegrityError) -> ChunkResult:
+        """A lazily validated seek-point window failed its CRC/inflate at
+        decode time: re-decode this chunk's interval from the last seek
+        point whose window is still trustworthy (search-style decode with
+        a real window), slice off the prefix belonging to earlier chunks,
+        and serve exactly the damaged chunk's bytes. The reader's hook
+        accounts the incident; the consumer sees correct data, never the
+        error."""
+        point, end_bit, expected, is_last = self._index_bounds(chunk_id)
+        good_id = chunk_id
+        window = None
+        while good_id > 0:
+            good_id -= 1
+            candidate = self._index[good_id]
+            if candidate.is_stream_start:
+                window = b""
+                break
+            try:
+                window = window_bytes(candidate.window)
+                break
+            except IndexIntegrityError:
+                continue
+        if window is None:
+            if good_id != 0 or not self._index[0].is_stream_start:
+                raise error  # no trustworthy resume point at all
+            window = b""
+        good = self._index[good_id]
+        self._index_fallbacks.increment()
+        recorder = self.telemetry.recorder
+        if recorder.enabled:
+            recorder.instant(
+                "index.fallback", chunk_id=chunk_id, from_point=good_id,
+                error=repr(error),
+            )
+        events = self.telemetry.events
+        if events.enabled:
+            events.emit("index-fallback", chunk=chunk_id, point=good_id)
+        hook = self.on_index_fallback
+        if hook is not None:
+            hook(chunk_id, error)
+        max_output = (
+            self.max_chunk_output * (chunk_id - good_id + 1)
+            if self.max_chunk_output else None
+        )
+        result = decode_chunk_range(
+            self.file_reader,
+            good.compressed_bit_offset,
+            end_bit,
+            window,
+            max_output=max_output,
+            decoder=self.decoder,
+        )
+        from ..deflate.markers import ChunkPayload
+
+        prefix = point.uncompressed_offset - good.uncompressed_offset
+        data = result.payload.materialize(window)
+        payload = ChunkPayload()
+        payload.append_bytes(data[prefix : prefix + expected])
+        return ChunkResult(
+            start_bit=point.compressed_bit_offset,
+            end_bit=None if is_last else end_bit,
+            end_is_stream_start=result.end_is_stream_start,
+            payload=payload,
+            events=[
+                StreamEvent(
+                    event.kind, event.local_offset - prefix,
+                    event.crc32, event.isize,
+                )
+                for event in result.events
+                if event.local_offset >= prefix
+            ],
+            window_known=True,
+            compressed_size_bits=max(
+                (end_bit or 0) - point.compressed_bit_offset, 0
+            ),
         )
 
     def _spec_for_id(self, chunk_id: int, attempt: int = 0,
@@ -388,6 +495,7 @@ class GzipChunkFetcher:
             spec.expected_size = expected
             spec.is_last = is_last
             spec.max_output = self.max_chunk_output
+            spec.next_window = self._next_window_for(chunk_id)
         else:
             members, end = self._bgzf_groups[chunk_id]
             spec.member_offsets = tuple(members)
@@ -566,6 +674,16 @@ class GzipChunkFetcher:
                     if self.mode == "search" else reserved,
                 ):
                     return False
+            if self.backend == "processes":
+                try:
+                    spec = self._spec_for_id(chunk_id)
+                except IndexIntegrityError:
+                    # A damaged lazy window cannot ship to a worker
+                    # process; the consumer's own request will run the
+                    # in-process fallback re-decode instead.
+                    if reserved:
+                        self.governor.discharge("in_flight", reserved)
+                    return True
             self._speculative_submitted.increment()
             events = self.telemetry.events
             if events.enabled:
@@ -575,7 +693,7 @@ class GzipChunkFetcher:
                 )
             if self.backend == "processes":
                 future = self.pool.submit(
-                    execute_chunk_task, self._spec_for_id(chunk_id),
+                    execute_chunk_task, spec,
                     priority=PRIORITY_PREFETCH,
                 )
             else:
@@ -748,6 +866,10 @@ class GzipChunkFetcher:
                 self._worker_crashes.increment()
                 self._note_backend_failure("crash")
                 continue
+            except IndexIntegrityError:
+                # Damaged lazy window: not shippable to a worker process;
+                # the serial rung below runs the in-process fallback.
+                break
             except UsageError:
                 # Pool shut down / spec not shippable: go serial. Counted
                 # so the ladder's silent rung change shows up in --profile.

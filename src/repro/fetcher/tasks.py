@@ -149,6 +149,9 @@ class ChunkTaskSpec:
     window: bytes = b""
     expected_size: int = None
     is_last: bool = False
+    # next seek point's window for tail verification of the zlib fast
+    # path (None: no next point / stream start / unavailable)
+    next_window: bytes = None
     # bgzf mode
     member_offsets: tuple = ()
     end_offset: int = 0
@@ -273,6 +276,7 @@ def _decode_for_spec(spec: ChunkTaskSpec, reader, telemetry) -> ChunkResult:
             is_last=spec.is_last,
             max_output=spec.max_output,
             decoder=spec.decoder,
+            next_window=spec.next_window,
         )
     if spec.mode == "bgzf":
         return decode_bgzf_members(

@@ -1,5 +1,42 @@
-"""Seek-point index for constant-time random access."""
+"""Seek-point index for constant-time random access.
 
-from .gzip_index import GzipIndex, INDEX_MAGIC, SeekPoint
+:mod:`.gzip_index` holds the in-memory index and the legacy v1 wire
+format; :mod:`.store` adds the crash-safe persistent tier (atomic
+export, checksummed v2 format, source fingerprints, lazy validation).
+"""
 
-__all__ = ["GzipIndex", "INDEX_MAGIC", "SeekPoint"]
+from .gzip_index import (
+    GzipIndex,
+    INDEX_MAGIC,
+    MAX_COMPRESSED_WINDOW,
+    SeekPoint,
+)
+from .store import (
+    INDEX_MAGIC_V2,
+    INDEX_TRAILER_V2,
+    LazyWindow,
+    SourceFingerprint,
+    VALIDATION_POLICIES,
+    cache_path,
+    fingerprint_source,
+    load_index,
+    save_index,
+    window_bytes,
+)
+
+__all__ = [
+    "GzipIndex",
+    "INDEX_MAGIC",
+    "INDEX_MAGIC_V2",
+    "INDEX_TRAILER_V2",
+    "LazyWindow",
+    "MAX_COMPRESSED_WINDOW",
+    "SeekPoint",
+    "SourceFingerprint",
+    "VALIDATION_POLICIES",
+    "cache_path",
+    "fingerprint_source",
+    "load_index",
+    "save_index",
+    "window_bytes",
+]

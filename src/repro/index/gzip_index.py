@@ -24,12 +24,18 @@ import zlib
 from bisect import bisect_right
 from dataclasses import dataclass
 
+from ..deflate.constants import MAX_WINDOW_SIZE
 from ..errors import FormatError, UsageError
 
-__all__ = ["SeekPoint", "GzipIndex", "INDEX_MAGIC"]
+__all__ = ["SeekPoint", "GzipIndex", "INDEX_MAGIC", "MAX_COMPRESSED_WINDOW"]
 
 INDEX_MAGIC = b"RPGZIDX1"
 _VERSION = 1
+
+#: Largest credible zlib-compressed 32 KiB window: raw size plus the
+#: worst-case stored-block expansion overhead. A declared length past
+#: this is a malformed (or malicious) index, not a big window.
+MAX_COMPRESSED_WINDOW = MAX_WINDOW_SIZE + 1024
 
 
 @dataclass(frozen=True)
@@ -121,37 +127,90 @@ class GzipIndex:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "GzipIndex":
+        """Parse a v1 index, rejecting malformed input defensively.
+
+        Every way a hostile or damaged file can break the parse —
+        truncation mid-field, a declared window length larger than any
+        real compressed window, a window that zlib cannot inflate, an
+        inflated window past 32 KiB, non-monotonic seek points — raises
+        :class:`FormatError` with the byte offset of the bad field,
+        never a leaked ``struct.error``/``zlib.error``.
+        """
         stream = io.BytesIO(data)
 
-        def take(n: int) -> bytes:
+        def take(n: int, what: str) -> bytes:
+            offset = stream.tell()
             piece = stream.read(n)
             if len(piece) != n:
-                raise FormatError("truncated index file")
+                raise FormatError(
+                    f"truncated index file: needed {n} byte(s) for {what} "
+                    f"at byte offset {offset}, found {len(piece)}"
+                )
             return piece
 
-        if take(8) != INDEX_MAGIC:
+        if take(8, "magic") != INDEX_MAGIC:
             raise FormatError("not a rapidgzip-repro index file")
-        version, flags = take(2)
+        version, flags = take(2, "version/flags")
         if version != _VERSION:
             raise FormatError(f"unsupported index version {version}")
         index = cls()
-        uncompressed_size = int.from_bytes(take(8), "little")
-        compressed_size_bits = int.from_bytes(take(8), "little")
-        count = int.from_bytes(take(4), "little")
-        for _ in range(count):
-            compressed_bit = int.from_bytes(take(8), "little")
-            uncompressed = int.from_bytes(take(8), "little")
-            point_flags = take(1)[0]
-            window_length = int.from_bytes(take(4), "little")
-            window = zlib.decompress(take(window_length))
-            index.add(
-                SeekPoint(
-                    compressed_bit_offset=compressed_bit,
-                    uncompressed_offset=uncompressed,
-                    window=window,
-                    is_stream_start=bool(point_flags & 1),
-                )
+        uncompressed_size = int.from_bytes(take(8, "uncompressed size"), "little")
+        compressed_size_bits = int.from_bytes(
+            take(8, "compressed size"), "little"
+        )
+        count = int.from_bytes(take(4, "seek-point count"), "little")
+        for number in range(count):
+            compressed_bit = int.from_bytes(
+                take(8, f"point {number} bit offset"), "little"
             )
+            uncompressed = int.from_bytes(
+                take(8, f"point {number} output offset"), "little"
+            )
+            point_flags = take(1, f"point {number} flags")[0]
+            length_offset = stream.tell()
+            window_length = int.from_bytes(
+                take(4, f"point {number} window length"), "little"
+            )
+            if window_length > MAX_COMPRESSED_WINDOW:
+                raise FormatError(
+                    f"implausible window length {window_length} for seek "
+                    f"point {number} at byte offset {length_offset} "
+                    f"(limit {MAX_COMPRESSED_WINDOW})"
+                )
+            window_offset = stream.tell()
+            compressed_window = take(window_length, f"point {number} window")
+            try:
+                # Bounded inflate: ask for at most one byte past the cap,
+                # so an absurd declared window cannot balloon memory.
+                decompressor = zlib.decompressobj()
+                window = decompressor.decompress(
+                    compressed_window, MAX_WINDOW_SIZE + 1
+                )
+            except zlib.error as error:
+                raise FormatError(
+                    f"corrupt window for seek point {number} at byte "
+                    f"offset {window_offset}: {error}"
+                ) from error
+            if len(window) > MAX_WINDOW_SIZE:
+                raise FormatError(
+                    f"window for seek point {number} at byte offset "
+                    f"{window_offset} inflates to {len(window)} bytes "
+                    f"(limit {MAX_WINDOW_SIZE})"
+                )
+            try:
+                index.add(
+                    SeekPoint(
+                        compressed_bit_offset=compressed_bit,
+                        uncompressed_offset=uncompressed,
+                        window=window,
+                        is_stream_start=bool(point_flags & 1),
+                    )
+                )
+            except UsageError as error:
+                raise FormatError(
+                    f"non-monotonic seek point {number} at byte offset "
+                    f"{length_offset}: {error}"
+                ) from error
         if flags & 1:
             index.finalize(uncompressed_size, compressed_size_bits)
         return index

@@ -1,0 +1,631 @@
+"""Crash-safe persistent seek-index tier (``repro.index.store``).
+
+The paper's biggest lever after parallel search is the imported index:
+with seek points + windows, chunk decode delegates to zlib, runs ~2x
+faster, and gets perfect boundaries (§1.3/§6). This module makes that
+index *durable* — "index once, read forever" — with the robustness bar
+an on-disk artifact demands: a stale, torn, truncated, or bit-flipped
+index file must never crash a reader and never serve wrong bytes.
+
+Defenses, end to end:
+
+* **Atomic persistence** — :func:`save_index` writes to a temp file in
+  the target directory, ``fsync``\\ s it, and publishes with
+  ``os.replace``. A crash mid-export leaves the old index (or nothing),
+  never a half-written one. Concurrent exporters race harmlessly:
+  last-writer-wins, readers always see a complete file.
+* **Integrity metadata** — format v2 stores a CRC-32 per compressed
+  seek-point window, a whole-file footer CRC, and a trailer magic, all
+  under a schema version whose *future* values are rejected with a
+  structured error instead of a misparse.
+* **Source binding** — a fingerprint block (size, mtime, CRC-32 samples
+  of head/tail/strided ranges of the *compressed* file) is validated on
+  import, so an index can never be applied to a changed or different
+  file. Identity is content-based: mtime drift alone does not reject
+  (copies keep their index), any content-sample mismatch does.
+* **Validation policies** — ``validate="eager"`` inflates and checks
+  every window at load; ``"lazy"`` defers window CRC + inflation to
+  first access (:class:`LazyWindow`), so damage localized to one window
+  surfaces *mid-flight* where the fetcher re-decodes that interval from
+  the last good seek point; ``"off"`` checks structure only.
+
+Every failure raises :class:`~repro.errors.IndexIntegrityError` with
+the failed check's name; callers choose policy (the reader's index
+cache logs-and-falls-back, CLI ``--import-index`` is strict).
+Fault-injection sites ``index.load`` / ``index.window`` /
+``index.export`` (:mod:`repro.faults`) make every failure path
+rehearsable under a seed.
+
+Format v2 (little-endian)::
+
+    header      8s magic "RPGZIDX2" | B version=2 | B flags
+                (bit0 finalized, bit1 fingerprint present) | H reserved
+                | Q uncompressed size | Q compressed size bits
+                | I seek-point count
+    fingerprint Q source size | Q source mtime_ns | I head crc
+                | I tail crc | I stride crc | I sample size | Q stride
+    point * N   Q compressed bit offset | Q uncompressed offset
+                | B flags (bit0 stream start) | I raw window length
+                | I compressed window length | I window crc
+                | compressed window bytes
+    footer      I crc-32 of everything above | 8s trailer "RPGZEND2"
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass
+
+from .. import faults
+from ..deflate.constants import MAX_WINDOW_SIZE
+from ..errors import IndexIntegrityError, UsageError
+from ..io import FileReader, ensure_file_reader
+from .gzip_index import (
+    GzipIndex,
+    INDEX_MAGIC,
+    MAX_COMPRESSED_WINDOW,
+    SeekPoint,
+)
+
+__all__ = [
+    "INDEX_MAGIC_V2",
+    "INDEX_TRAILER_V2",
+    "LazyWindow",
+    "SourceFingerprint",
+    "VALIDATION_POLICIES",
+    "cache_path",
+    "fingerprint_source",
+    "index_to_bytes_v2",
+    "load_index",
+    "save_index",
+    "window_bytes",
+]
+
+INDEX_MAGIC_V2 = b"RPGZIDX2"
+INDEX_TRAILER_V2 = b"RPGZEND2"
+_VERSION = 2
+
+_FLAG_FINALIZED = 1
+_FLAG_FINGERPRINT = 2
+_POINT_STREAM_START = 1
+
+_HEADER = struct.Struct("<8sBBHQQI")
+_FINGERPRINT = struct.Struct("<QQIIIIQ")
+_POINT = struct.Struct("<QQBIII")
+_FOOTER = struct.Struct("<I8s")
+
+#: Accepted ``validate=`` values, strictest first.
+VALIDATION_POLICIES = ("eager", "lazy", "off")
+
+#: Head/tail sample length for source fingerprints.
+_SAMPLE_SIZE = 64 * 1024
+#: Bytes hashed at each stride step.
+_STRIDE_PROBE = 4096
+#: Target number of strided samples across the file body.
+_STRIDE_STEPS = 16
+
+
+def _span(telemetry, name: str, **attrs):
+    """A (possibly no-op) recorder span for one store operation."""
+    if telemetry is None:
+        return contextlib.nullcontext()
+    return telemetry.recorder.span(name, **attrs)
+
+
+def check_policy(validate: str) -> str:
+    if validate not in VALIDATION_POLICIES:
+        raise UsageError(
+            f"unknown index validation policy {validate!r}; choose one of "
+            f"{', '.join(VALIDATION_POLICIES)}"
+        )
+    return validate
+
+
+def cache_path(cache_dir, source_path) -> str:
+    """Deterministic index-cache file name for one compressed file.
+
+    Keyed on the absolute source path so every reader and writer of the
+    same file agrees on one cache entry (the content fingerprint inside
+    the file handles renames-with-different-content); the basename is
+    kept in the name for humans browsing the cache directory.
+    """
+    absolute = os.path.abspath(os.fspath(source_path))
+    digest = hashlib.sha256(
+        absolute.encode("utf-8", "surrogatepass")
+    ).hexdigest()[:16]
+    name = os.path.basename(absolute) or "stream"
+    return os.path.join(os.fspath(cache_dir), f"{name}.{digest}.rpzidx")
+
+
+# -- source fingerprint -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceFingerprint:
+    """Content-sampling identity of the compressed source file.
+
+    ``head_crc``/``tail_crc`` cover the first/last ``sample_size`` bytes;
+    ``stride_crc`` chains CRC-32 over ``4096``-byte probes every
+    ``stride`` bytes, so an edit anywhere in a multi-GiB file has a high
+    chance of landing in a sampled range without reading the whole file.
+    ``mtime_ns`` is advisory (reported, never rejecting on its own):
+    identity is decided by size + content samples, so copying a file
+    next to its index keeps the index valid.
+    """
+
+    size: int
+    mtime_ns: int
+    head_crc: int
+    tail_crc: int
+    stride_crc: int
+    sample_size: int = _SAMPLE_SIZE
+    stride: int = 0
+
+    def mismatch(self, other: "SourceFingerprint") -> str:
+        """Name of the first failing binding check, or ``""`` on a match.
+
+        ``other`` must be sampled with this fingerprint's geometry
+        (:func:`fingerprint_source` with ``like=self``).
+        """
+        if self.size != other.size:
+            return (
+                f"source size changed: index recorded {self.size} byte(s), "
+                f"file has {other.size}"
+            )
+        if self.head_crc != other.head_crc:
+            return "head sample CRC-32 mismatch (file content changed)"
+        if self.tail_crc != other.tail_crc:
+            return "tail sample CRC-32 mismatch (file content changed)"
+        if self.stride_crc != other.stride_crc:
+            return "strided sample CRC-32 mismatch (file content changed)"
+        return ""
+
+
+def fingerprint_source(source, *, like: SourceFingerprint = None) -> SourceFingerprint:
+    """Sample ``source`` (path, bytes, file-like, or FileReader).
+
+    ``like`` replays another fingerprint's sampling geometry (sample
+    size and stride) so two fingerprints are comparable even across
+    releases that change the defaults.
+    """
+    owned = not isinstance(source, FileReader)
+    reader = ensure_file_reader(source)
+    try:
+        size = reader.size()
+        sample_size = like.sample_size if like is not None else _SAMPLE_SIZE
+        sample = min(sample_size, size)
+        if like is not None:
+            stride = like.stride
+        else:
+            stride = max(size // _STRIDE_STEPS, _STRIDE_PROBE)
+        head_crc = zlib.crc32(reader.pread(0, sample))
+        tail_crc = zlib.crc32(reader.pread(max(size - sample, 0), sample))
+        stride_crc = 0
+        if stride > 0:
+            for offset in range(0, size, stride):
+                stride_crc = zlib.crc32(
+                    reader.pread(offset, _STRIDE_PROBE), stride_crc
+                )
+        path = getattr(reader, "path", None)
+        mtime_ns = 0
+        if path is not None:
+            try:
+                mtime_ns = os.stat(path).st_mtime_ns
+            except OSError:
+                mtime_ns = 0
+        return SourceFingerprint(
+            size=size,
+            mtime_ns=mtime_ns,
+            head_crc=head_crc,
+            tail_crc=tail_crc,
+            stride_crc=stride_crc,
+            sample_size=sample_size,
+            stride=stride,
+        )
+    finally:
+        if owned:
+            reader.close()
+
+
+# -- lazy windows -----------------------------------------------------------------
+
+
+class LazyWindow:
+    """A seek-point window validated and inflated on first access.
+
+    Holds the compressed window bytes plus their stored CRC-32 and
+    declared raw length; :meth:`materialize` (also ``bytes(window)``)
+    checks the CRC, inflates with a bounded buffer, and caches the
+    result. Any mismatch raises
+    :class:`~repro.errors.IndexIntegrityError` *at the access site*,
+    which is exactly where the fetcher can re-decode the interval from
+    the last good seek point instead of serving wrong bytes.
+
+    ``len()``/truthiness come from the declared raw length so placement
+    logic never forces materialization.
+    """
+
+    __slots__ = ("_compressed", "_crc", "_raw_length", "_point", "_telemetry",
+                 "_value")
+
+    def __init__(self, compressed: bytes, crc: int, raw_length: int,
+                 point: int, telemetry=None):
+        self._compressed = compressed
+        self._crc = crc
+        self._raw_length = raw_length
+        self._point = point
+        self._telemetry = telemetry
+        self._value = None
+
+    @property
+    def point(self) -> int:
+        return self._point
+
+    @property
+    def validated(self) -> bool:
+        return self._value is not None
+
+    def materialize(self) -> bytes:
+        if self._value is not None:
+            return self._value
+        telemetry = self._telemetry
+        try:
+            self._value = _check_window(
+                self._compressed, self._crc, self._raw_length, self._point,
+            )
+        except IndexIntegrityError:
+            if telemetry is not None:
+                telemetry.metrics.counter(
+                    "index.window_crc_failures"
+                ).increment()
+            raise
+        if telemetry is not None:
+            telemetry.metrics.counter("index.windows_validated").increment()
+        return self._value
+
+    def __bytes__(self) -> bytes:
+        return self.materialize()
+
+    def __len__(self) -> int:
+        return self._raw_length
+
+    def __bool__(self) -> bool:
+        return self._raw_length > 0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (bytes, bytearray)):
+            return self.materialize() == other
+        if isinstance(other, LazyWindow):
+            return self.materialize() == other.materialize()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        state = "validated" if self._value is not None else "unvalidated"
+        return f"<LazyWindow point={self._point} {self._raw_length} B {state}>"
+
+
+def _check_window(compressed: bytes, crc: int, raw_length: int,
+                  point: int) -> bytes:
+    """CRC-check and inflate one stored window; every failure is typed."""
+    faults.fire("index.window", chunk_id=point)
+    actual_crc = zlib.crc32(compressed)
+    if actual_crc != crc:
+        raise IndexIntegrityError(
+            f"seek point {point}: window CRC-32 mismatch (stored "
+            f"{crc:#010x}, computed {actual_crc:#010x})",
+            check="window_crc", point=point,
+        )
+    try:
+        decompressor = zlib.decompressobj()
+        window = decompressor.decompress(compressed, MAX_WINDOW_SIZE + 1)
+    except zlib.error as error:
+        raise IndexIntegrityError(
+            f"seek point {point}: window failed to inflate: {error}",
+            check="window_inflate", point=point,
+        ) from error
+    if len(window) != raw_length or len(window) > MAX_WINDOW_SIZE:
+        raise IndexIntegrityError(
+            f"seek point {point}: window inflated to {len(window)} byte(s), "
+            f"declared {raw_length}",
+            check="window_length", point=point,
+        )
+    return window
+
+
+def window_bytes(window) -> bytes:
+    """Coerce a (possibly lazy) seek-point window to real bytes.
+
+    The single boundary every consumer of ``SeekPoint.window`` funnels
+    through; raises :class:`~repro.errors.IndexIntegrityError` when a
+    lazily validated window turns out damaged.
+    """
+    if type(window) is bytes:
+        return window
+    return bytes(window)
+
+
+# -- export -----------------------------------------------------------------------
+
+
+def index_to_bytes_v2(index: GzipIndex, *,
+                      fingerprint: SourceFingerprint = None,
+                      compresslevel: int = 6) -> bytes:
+    """Serialize ``index`` in format v2 (checksummed, fingerprinted)."""
+    if not index.finalized:
+        raise UsageError(
+            "only finalized indexes can be persisted (complete the first "
+            "decode pass, then export)"
+        )
+    flags = _FLAG_FINALIZED
+    if fingerprint is not None:
+        flags |= _FLAG_FINGERPRINT
+    pieces = [
+        _HEADER.pack(
+            INDEX_MAGIC_V2, _VERSION, flags, 0,
+            index.uncompressed_size, index.compressed_size_bits, len(index),
+        )
+    ]
+    if fingerprint is not None:
+        pieces.append(
+            _FINGERPRINT.pack(
+                fingerprint.size, fingerprint.mtime_ns, fingerprint.head_crc,
+                fingerprint.tail_crc, fingerprint.stride_crc,
+                fingerprint.sample_size, fingerprint.stride,
+            )
+        )
+    for number, point in enumerate(index):
+        window = window_bytes(point.window)
+        compressed = zlib.compress(window, compresslevel)
+        pieces.append(
+            _POINT.pack(
+                point.compressed_bit_offset,
+                point.uncompressed_offset,
+                _POINT_STREAM_START if point.is_stream_start else 0,
+                len(window),
+                len(compressed),
+                zlib.crc32(compressed),
+            )
+        )
+        pieces.append(compressed)
+        del number
+    body = b"".join(pieces)
+    return body + _FOOTER.pack(zlib.crc32(body), INDEX_TRAILER_V2)
+
+
+def save_index(index: GzipIndex, target, *, source=None,
+               fingerprint: SourceFingerprint = None,
+               telemetry=None) -> str:
+    """Atomically persist ``index`` to the path ``target``.
+
+    The bytes are staged in a temp file in the target's directory,
+    flushed and ``fsync``\\ ed, then published with ``os.replace`` —
+    readers either see the previous complete index or the new complete
+    index, never a torn write, and concurrent exporters settle on
+    last-writer-wins without locks. ``source`` (path/bytes/FileReader)
+    embeds a binding fingerprint of the compressed file; pass
+    ``fingerprint`` directly to reuse one already computed.
+
+    Returns the target path.
+    """
+    target = os.fspath(target)
+    if fingerprint is None and source is not None:
+        fingerprint = fingerprint_source(source)
+    with _span(telemetry, "index.export", points=len(index)):
+        faults.fire("index.export")
+        data = index_to_bytes_v2(index, fingerprint=fingerprint)
+        directory = os.path.dirname(target) or "."
+        descriptor, staging = tempfile.mkstemp(
+            prefix=os.path.basename(target) + ".", suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staging, target)
+        except BaseException:
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+            raise
+    return target
+
+
+# -- import -----------------------------------------------------------------------
+
+
+def _take(data: bytes, offset: int, size: int, what: str, path) -> bytes:
+    if offset + size > len(data):
+        raise IndexIntegrityError(
+            f"truncated index file: needed {size} byte(s) for {what} at "
+            f"byte offset {offset}, file ends at {len(data)}",
+            check="truncated", path=path, offset=offset,
+        )
+    return data[offset : offset + size]
+
+
+def load_index(source_index, *, source=None, validate: str = "eager",
+               telemetry=None) -> GzipIndex:
+    """Load and validate a persistent index (format v2, or legacy v1).
+
+    ``source_index`` is the index path, bytes, or a binary file object;
+    ``source`` (path/bytes/FileReader), when given, binds the import:
+    the embedded fingerprint is re-sampled against it and any content
+    drift rejects the index. ``validate`` picks the pipeline:
+
+    * ``"eager"`` (default) — footer CRC, fingerprint, and every window
+      CRC + inflation checked before the index is returned;
+    * ``"lazy"`` — structure + fingerprint checked now, windows become
+      :class:`LazyWindow` objects validated on first access (damage
+      surfaces mid-flight where the fetcher can re-decode around it);
+    * ``"off"`` — structural parse only (windows still inflate lazily,
+      and still fail *typed* if corrupt — never wrong bytes).
+
+    Raises :class:`~repro.errors.IndexIntegrityError` naming the failed
+    check; legacy v1 files parse through the hardened
+    :meth:`GzipIndex.from_bytes` (no fingerprint or checksums to
+    verify — their failures are wrapped with ``check="format"``).
+    """
+    check_policy(validate)
+    path = None
+    if isinstance(source_index, (bytes, bytearray)):
+        data = bytes(source_index)
+    elif hasattr(source_index, "read"):
+        data = source_index.read()
+    else:
+        path = os.fspath(source_index)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as error:
+            raise IndexIntegrityError(
+                f"cannot read index file {path!r}: {error}",
+                check="io", path=path,
+            ) from error
+    faults.fire("index.load")
+    with _span(telemetry, "index.import", nbytes=len(data),
+               validate=validate):
+        return _parse_index(data, path, source, validate, telemetry)
+
+
+def _parse_index(data: bytes, path, source, validate: str,
+                 telemetry) -> GzipIndex:
+    if data[:8] == INDEX_MAGIC:  # legacy v1: hardened parse, no binding
+        from ..errors import FormatError
+
+        try:
+            return GzipIndex.from_bytes(data)
+        except FormatError as error:
+            raise IndexIntegrityError(
+                f"legacy index rejected: {error}", check="format", path=path,
+            ) from error
+
+    header = _take(data, 0, _HEADER.size, "header", path)
+    magic, version, flags, _reserved, uncompressed_size, \
+        compressed_size_bits, count = _HEADER.unpack(header)
+    if magic != INDEX_MAGIC_V2:
+        raise IndexIntegrityError(
+            f"not a rapidgzip-repro index file (magic {magic!r})",
+            check="magic", path=path, offset=0,
+        )
+    if version != _VERSION:
+        raise IndexIntegrityError(
+            f"index version {version} is not supported by this release "
+            f"(expected {_VERSION}); refusing to guess at a future format",
+            check="version", path=path, offset=8,
+        )
+    if not flags & _FLAG_FINALIZED:
+        raise IndexIntegrityError(
+            "index was never finalized; a partial index cannot place "
+            "chunks safely",
+            check="finalized", path=path, offset=9,
+        )
+
+    if validate == "eager":
+        _check_footer(data, path)
+
+    offset = _HEADER.size
+    fingerprint = None
+    if flags & _FLAG_FINGERPRINT:
+        block = _take(data, offset, _FINGERPRINT.size, "fingerprint", path)
+        fingerprint = SourceFingerprint(*_FINGERPRINT.unpack(block))
+        offset += _FINGERPRINT.size
+    if validate != "off" and fingerprint is not None and source is not None:
+        observed = fingerprint_source(source, like=fingerprint)
+        drift = fingerprint.mismatch(observed)
+        if drift:
+            raise IndexIntegrityError(
+                f"index does not match the compressed file: {drift}",
+                check="fingerprint", path=path,
+            )
+
+    # A count no file of this size could hold is structural damage, not
+    # a huge index — reject before looping (and allocating) on it.
+    if count > max((len(data) - _HEADER.size) // _POINT.size, 0):
+        raise IndexIntegrityError(
+            f"declared seek-point count {count} cannot fit in a "
+            f"{len(data)}-byte index file",
+            check="truncated", path=path, offset=_HEADER.size - 4,
+        )
+
+    index = GzipIndex()
+    eager = validate == "eager"
+    for number in range(count):
+        record = _take(data, offset, _POINT.size, f"seek point {number}", path)
+        bit_offset, output_offset, point_flags, raw_length, \
+            compressed_length, window_crc = _POINT.unpack(record)
+        offset += _POINT.size
+        if raw_length > MAX_WINDOW_SIZE or \
+                compressed_length > MAX_COMPRESSED_WINDOW:
+            raise IndexIntegrityError(
+                f"seek point {number}: implausible window lengths "
+                f"(raw {raw_length}, compressed {compressed_length})",
+                check="window_length", path=path, offset=offset,
+            )
+        compressed = _take(
+            data, offset, compressed_length, f"window of seek point {number}",
+            path,
+        )
+        offset += compressed_length
+        if eager:
+            window = _check_window(compressed, window_crc, raw_length, number)
+            if telemetry is not None:
+                telemetry.metrics.counter(
+                    "index.windows_validated"
+                ).increment()
+        else:
+            window = LazyWindow(
+                compressed, window_crc, raw_length, number,
+                telemetry=telemetry,
+            )
+        try:
+            index.add(
+                SeekPoint(
+                    compressed_bit_offset=bit_offset,
+                    uncompressed_offset=output_offset,
+                    window=window,
+                    is_stream_start=bool(point_flags & _POINT_STREAM_START),
+                )
+            )
+        except UsageError as error:
+            raise IndexIntegrityError(
+                f"non-monotonic seek point {number}: {error}",
+                check="order", path=path, offset=offset,
+            ) from error
+
+    if offset + _FOOTER.size > len(data):
+        raise IndexIntegrityError(
+            f"truncated index file: footer missing at byte offset {offset}",
+            check="truncated", path=path, offset=offset,
+        )
+    index.finalize(uncompressed_size, compressed_size_bits)
+    return index
+
+
+def _check_footer(data: bytes, path) -> None:
+    if len(data) < _HEADER.size + _FOOTER.size:
+        raise IndexIntegrityError(
+            f"truncated index file: {len(data)} byte(s) cannot hold a "
+            f"header and footer",
+            check="truncated", path=path, offset=len(data),
+        )
+    stored_crc, trailer = _FOOTER.unpack(data[-_FOOTER.size:])
+    if trailer != INDEX_TRAILER_V2:
+        raise IndexIntegrityError(
+            "index trailer magic missing (torn or truncated write)",
+            check="trailer", path=path, offset=len(data) - 8,
+        )
+    actual = zlib.crc32(data[: -_FOOTER.size])
+    if actual != stored_crc:
+        raise IndexIntegrityError(
+            f"whole-file CRC-32 mismatch (stored {stored_crc:#010x}, "
+            f"computed {actual:#010x})",
+            check="footer_crc", path=path, offset=len(data) - _FOOTER.size,
+        )

@@ -26,6 +26,7 @@ from ..cache import LRUCache, MemoryGovernor, SpillStore, parse_size
 from ..errors import (
     ChunkDecodeError,
     FormatError,
+    IndexIntegrityError,
     IntegrityError,
     TruncatedError,
     UsageError,
@@ -39,6 +40,7 @@ from ..fetcher import (
 from ..gz.crc32 import fast_crc32
 from ..gz.header import parse_gzip_header
 from ..index import GzipIndex, SeekPoint
+from ..index import store as index_store
 from ..io import BitReader, ensure_file_reader
 from ..telemetry import (
     MetricsServer,
@@ -61,6 +63,8 @@ class ParallelGzipReader:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         verify: bool = True,
         index: GzipIndex = None,
+        index_cache=None,
+        index_validate: str = "eager",
         strategy=None,
         pugz_compatible: bool = False,
         max_chunk_output: int = None,
@@ -103,6 +107,19 @@ class ParallelGzipReader:
         is not larger than the configured chunk size"). Defaults to
         ``2 * chunk_size``. This bounds both seek latency and the memory
         needed per chunk when the exported index is later imported.
+
+        ``index_cache`` names a directory holding persistent seek
+        indexes (created if missing). On open, a matching cached index
+        is imported — validated per ``index_validate`` (``"eager"``
+        checks every window checksum up front, ``"lazy"`` defers window
+        checks to first use, ``"off"`` checks structure only) — and the
+        reader starts in the fast zlib-delegation mode. A stale, torn,
+        or corrupted cache entry is *never* fatal: the failure is
+        recorded in :attr:`damage_report` (kind ``"index"``) and
+        telemetry, and the reader falls back to a full parallel search;
+        after that first full pass the fresh index is atomically
+        re-exported, healing the cache. Caching needs a real file path
+        (it is skipped for byte buffers and file objects).
 
         ``backend`` picks the worker pool: ``"threads"``, ``"processes"``,
         or ``"auto"`` (the default), which uses processes exactly when the
@@ -184,6 +201,25 @@ class ParallelGzipReader:
         if index is not None and not index.finalized:
             raise UsageError("only finalized indexes can be imported")
 
+        # Persistent index cache: import a matching cached index before
+        # the fetcher is built (so it opens straight in index mode), and
+        # remember the path for the atomic auto-export after the first
+        # full decode. Requires a real file path; silently inactive for
+        # byte buffers and anonymous file objects.
+        self._index_validate = index_store.check_policy(index_validate)
+        self._index_cache_path = None
+        self._index_imported = False
+        self._index_exported = False
+        if index_cache is not None:
+            source_path = getattr(self._file_reader, "path", None)
+            if source_path is not None:
+                os.makedirs(os.fspath(index_cache), exist_ok=True)
+                self._index_cache_path = index_store.cache_path(
+                    index_cache, source_path
+                )
+                if index is None:
+                    index = self._try_import_index_cache()
+
         # One governor spans the whole pipeline: the fetcher's caches and
         # in-flight reservations and this reader's materialized bytes all
         # charge the same budget. $REPRO_MAX_MEMORY supplies a default so
@@ -226,6 +262,7 @@ class ParallelGzipReader:
             # any chunk is decoded. Fall back to the search-mode fetcher,
             # whose block finder and resync machinery handle damage.
             self._fetcher = build_fetcher(False)
+        self._fetcher.on_index_fallback = self._note_index_fallback
 
         self._block_map = BlockMap()
         sizing = {}
@@ -304,6 +341,133 @@ class ParallelGzipReader:
                 SeekPoint(self._frontier[0], 0, b"", is_stream_start=True)
             )
 
+    # -- persistent index cache -------------------------------------------------
+
+    def _try_import_index_cache(self):
+        """Load the cached index for this file, or None (never raises).
+
+        Any integrity, binding, or I/O failure is recorded as an
+        ``"index"`` damage region plus telemetry and the reader proceeds
+        with a full parallel search — a bad cache entry costs the fast
+        path, never correctness. A missing entry is the ordinary cold
+        open and records nothing.
+        """
+        path = self._index_cache_path
+        if not os.path.exists(path):
+            return None
+        try:
+            loaded = index_store.load_index(
+                path,
+                source=self._file_reader,
+                validate=self._index_validate,
+                telemetry=self.telemetry,
+            )
+        except IndexIntegrityError as error:
+            self._note_index_rejected(error)
+            return None
+        self._index_imported = True
+        events = self.telemetry.events
+        if events.enabled:
+            events.emit(
+                "index-imported", points=len(loaded),
+                validate=self._index_validate,
+            )
+        return loaded
+
+    def _note_index_rejected(self, error) -> None:
+        from ..recovery import DamagedRegion
+
+        self.telemetry.metrics.counter("index.load_failures").increment()
+        self._damage.regions.append(
+            DamagedRegion(
+                kind="index",
+                start_bit=0,
+                detail=f"cached index rejected: {error}",
+            )
+        )
+        recorder = self.telemetry.recorder
+        if recorder.enabled:
+            recorder.instant(
+                "index.rejected", check=getattr(error, "check", None),
+                error=str(error),
+            )
+        events = self.telemetry.events
+        if events.enabled:
+            events.emit(
+                "index-rejected", check=getattr(error, "check", None)
+            )
+
+    def _note_index_fallback(self, chunk_id: int, error) -> None:
+        """Fetcher hook: one seek-point window failed validation mid-
+        flight and its interval was re-decoded from the last good point.
+        The served bytes are correct; this records why the fast path was
+        bypassed for that chunk."""
+        from ..recovery import DamagedRegion
+
+        record = None
+        if chunk_id < len(self._block_map):
+            record = self._block_map[chunk_id]
+        self._damage.regions.append(
+            DamagedRegion(
+                kind="index",
+                start_bit=record.start_bit if record is not None else 0,
+                resume_bit=record.end_bit if record is not None else None,
+                output_offset=(
+                    record.output_start if record is not None else 0
+                ),
+                detail=f"seek-point window rejected: {error}",
+            )
+        )
+
+    def _maybe_export_index_cache(self) -> None:
+        """Atomically publish the just-built index to the cache directory.
+
+        Runs once, after the first full pass, and only when the index
+        was built fresh (not imported) over undamaged data. Index-kind
+        damage regions don't block the export — they record a *rejected
+        stale cache*, and exporting is exactly how it self-heals.
+        Failures are counted and tolerated: the cache is an
+        optimization, never a correctness dependency.
+        """
+        if (
+            self._index_cache_path is None
+            or self._index_imported
+            or self._index_exported
+            or not self._index.finalized
+            or not len(self._index)
+        ):
+            return
+        if any(
+            region.kind != "index" for region in self._damage.regions
+        ):
+            return  # never persist an index built over damaged data
+        try:
+            index_store.save_index(
+                self._index,
+                self._index_cache_path,
+                source=self._file_reader,
+                telemetry=self.telemetry,
+            )
+        except Exception as error:
+            self.telemetry.metrics.counter(
+                "index.export_failures"
+            ).increment()
+            recorder = self.telemetry.recorder
+            if recorder.enabled:
+                recorder.instant("index.export_failed", error=repr(error))
+            events = self.telemetry.events
+            if events.enabled:
+                events.emit("index-export-failed", error=str(error))
+            return
+        self._index_exported = True
+        self.telemetry.metrics.counter("index.exports").increment()
+        events = self.telemetry.events
+        if events.enabled:
+            events.emit(
+                "index-exported", points=len(self._index),
+                path=self._index_cache_path,
+            )
+
     # -- decoding engine --------------------------------------------------------
 
     def _prebuild_block_map(self, index: GzipIndex) -> None:
@@ -320,7 +484,13 @@ class ParallelGzipReader:
                     output_start=point.uncompressed_offset,
                     output_end=output_end,
                     end_bit=None if last else points[position + 1].compressed_bit_offset,
-                    window=point.window,
+                    # Lazily validated windows stay in the index; the
+                    # record copy is only consulted by search-mode code
+                    # paths, which a prebuilt index chain never takes.
+                    window=(
+                        point.window
+                        if isinstance(point.window, bytes) else b""
+                    ),
                     is_stream_start=point.is_stream_start,
                 )
             )
@@ -328,11 +498,15 @@ class ParallelGzipReader:
     def _decode_next_chunk(self):
         """Advance the chain by one chunk; tolerant mode absorbs failures."""
         if not self._tolerate:
-            return self._decode_frontier_chunk()
-        try:
-            return self._decode_frontier_chunk()
-        except (ChunkDecodeError, FormatError) as error:
-            return self._absorb_damage(error)
+            record = self._decode_frontier_chunk()
+        else:
+            try:
+                record = self._decode_frontier_chunk()
+            except (ChunkDecodeError, FormatError) as error:
+                record = self._absorb_damage(error)
+        if self._frontier is None:
+            self._maybe_export_index_cache()
+        return record
 
     def _absorb_damage(self, error) -> ChunkRecord:
         """Tolerant mode: skip a broken stretch and resynchronise.
@@ -907,12 +1081,28 @@ class ParallelGzipReader:
         return self._damage
 
     def export_index(self, target) -> GzipIndex:
-        """Complete the initial pass if needed, then save the index."""
+        """Complete the initial pass if needed, then save the index
+        (legacy v1 stream format; ``target`` may be a file object)."""
         with self._lock:
             self._check_open()
             while self._frontier is not None:
                 self._decode_next_chunk()
             self._index.save(target)
+            return self._index
+
+    def export_index_atomic(self, target) -> GzipIndex:
+        """Complete the initial pass if needed, then persist the index
+        crash-safely (checksummed v2 format with a source fingerprint,
+        written via temp file + fsync + ``os.replace``). ``target`` must
+        be a filesystem path."""
+        with self._lock:
+            self._check_open()
+            while self._frontier is not None:
+                self._decode_next_chunk()
+            index_store.save_index(
+                self._index, target, source=self._file_reader,
+                telemetry=self.telemetry,
+            )
             return self._index
 
     def statistics(self) -> dict:
@@ -923,6 +1113,23 @@ class ParallelGzipReader:
         stats["read_calls"] = self._read_calls.value
         stats["bytes_returned"] = self._bytes_returned.value
         stats["damaged_regions"] = len(self._damage.regions)
+        counter = self.telemetry.metrics.counter
+        stats["index"] = {
+            "cache_path": self._index_cache_path,
+            "validate": self._index_validate,
+            "imported": self._index_imported,
+            "exported": self._index_exported,
+            "seek_points": len(self._index),
+            "index_chunks": counter("decode.index_chunks").value,
+            "windows_validated": counter("index.windows_validated").value,
+            "window_crc_failures": counter(
+                "index.window_crc_failures"
+            ).value,
+            "fallbacks": counter("index.fallbacks").value,
+            "load_failures": counter("index.load_failures").value,
+            "exports": counter("index.exports").value,
+            "export_failures": counter("index.export_failures").value,
+        }
         stats["materialized_cache"] = self._materialized.snapshot()
         stats["spill"] = (
             self._spill.statistics() if self._spill is not None else None

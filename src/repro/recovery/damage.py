@@ -41,11 +41,15 @@ class DamagedRegion:
     """One contiguous stretch of input the reader could not decode normally.
 
     ``kind`` is ``"corrupt"`` (structure broken mid-stream),
-    ``"truncated"`` (input ended early), or ``"integrity"`` (structure
-    decoded but a CRC-32/ISIZE trailer did not match). ``resume_bit`` is
-    where decoding picked up again, ``None`` when nothing decodable
-    remained. ``output_offset`` locates the damage in the decompressed
-    byte stream.
+    ``"truncated"`` (input ended early), ``"integrity"`` (structure
+    decoded but a CRC-32/ISIZE trailer did not match), or ``"index"``
+    (a persistent seek index failed validation — the *output is still
+    correct*: the reader fell back to a full search or re-decoded the
+    interval from the last good seek point; the record only explains
+    why the fast path was abandoned). ``resume_bit`` is where decoding
+    picked up again, ``None`` when nothing decodable remained.
+    ``output_offset`` locates the damage in the decompressed byte
+    stream.
     """
 
     kind: str
@@ -88,7 +92,9 @@ class DamageReport:
             f"{chr(self.placeholder)!r}"
         ]
         for region in self.regions:
-            if region.kind == "integrity":
+            if region.kind == "index":
+                resume = "re-decoded without the index, no data loss"
+            elif region.kind == "integrity":
                 resume = "data kept, verification stood down"
             elif region.resume_bit is not None:
                 resume = f"resumed at bit {region.resume_bit}"

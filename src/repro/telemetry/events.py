@@ -49,6 +49,7 @@ __all__ = [
     "NULL_EVENT_LOG",
     "NullEventLog",
     "TERMINAL_STATES",
+    "INDEX_STATES",
     "LIFECYCLE_STATES",
     "chunk_lifecycles",
     "load_events",
@@ -73,6 +74,17 @@ LIFECYCLE_STATES = (
     "no-candidate",  # search window held nothing decodable
     "shed",          # cancelled under memory pressure before running
     "failed",        # decode error / worker crash
+)
+
+#: Persistent-index lifecycle events. Not chunk states: they describe the
+#: on-disk index tier (one record per import/export/incident), so they
+#: live outside :data:`LIFECYCLE_STATES` and the per-chunk journey model.
+INDEX_STATES = (
+    "index-imported",       # cached/explicit index loaded and accepted
+    "index-rejected",       # import failed validation; search mode used
+    "index-fallback",       # one window failed mid-flight; re-decoded
+    "index-exported",       # index atomically persisted
+    "index-export-failed",  # persist attempt failed (tolerated)
 )
 
 #: States that end a chunk's journey through the pipeline. ``cached`` is

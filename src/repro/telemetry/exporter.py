@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 #: Stamped into ``/stats`` and ``/series`` payloads; bump on shape change.
-STATS_SCHEMA = 2
+STATS_SCHEMA = 3  # 3: added the "index" section (persistent index cache)
 
 
 def sanitize_metric_name(name: str) -> str:

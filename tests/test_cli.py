@@ -80,6 +80,81 @@ class TestIndex:
         assert main(["-c", "--import-index", str(idx), str(gz_file)]) == 0
         assert capsysbinary.readouterr().out == DATA
 
+    def test_strict_import_corrupt_index_exits_8(self, gz_file, tmp_path,
+                                                 capsys):
+        idx = tmp_path / "data.idx"
+        assert main(["--export-index", str(idx), str(gz_file)]) == 0
+        capsys.readouterr()
+        blob = bytearray(idx.read_bytes())
+        blob[-4] ^= 0xFF  # trailer magic
+        idx.write_bytes(bytes(blob))
+        assert main(["-c", "--import-index", str(idx), str(gz_file)]) == 8
+        err = capsys.readouterr().err
+        assert "rapidgzip-py: error:" in err
+        assert "[trailer]" in err or "[footer_crc]" in err
+
+    def test_strict_import_stale_fingerprint_exits_8(self, gz_file, tmp_path,
+                                                     capsys):
+        idx = tmp_path / "data.idx"
+        assert main(["--export-index", str(idx), str(gz_file)]) == 0
+        capsys.readouterr()
+        # Recompress at another level: valid gzip, different bytes.
+        gz_file.write_bytes(stdlib_gzip.compress(DATA, 1))
+        assert main(["-c", "--import-index", str(idx), str(gz_file)]) == 8
+        assert "[fingerprint]" in capsys.readouterr().err
+
+    def test_strict_import_truncated_index_exits_8(self, gz_file, tmp_path,
+                                                   capsys):
+        idx = tmp_path / "data.idx"
+        assert main(["--export-index", str(idx), str(gz_file)]) == 0
+        capsys.readouterr()
+        idx.write_bytes(idx.read_bytes()[:40])
+        assert main(["-c", "--import-index", str(idx), str(gz_file)]) == 8
+        assert "[truncated]" in capsys.readouterr().err
+
+
+class TestIndexCache:
+    def test_cold_then_warm(self, gz_file, tmp_path, capsysbinary):
+        cache = tmp_path / "cache"
+        args = ["-c", "--index-cache", str(cache), str(gz_file)]
+        assert main(args) == 0
+        assert capsysbinary.readouterr().out == DATA
+        cached = list(cache.glob("*.rpzidx"))
+        assert len(cached) == 1
+        assert main(args) == 0  # warm open imports what the cold one wrote
+        assert capsysbinary.readouterr().out == DATA
+
+    @pytest.mark.parametrize("validate", ["eager", "lazy"])
+    def test_corrupt_cache_falls_back_exit_0(self, gz_file, tmp_path,
+                                             validate, capsysbinary):
+        cache = tmp_path / "cache"
+        base = ["-c", "--index-cache", str(cache),
+                "--index-validate", validate, str(gz_file)]
+        assert main(base) == 0
+        capsysbinary.readouterr()
+        cached = next(cache.glob("*.rpzidx"))
+        blob = bytearray(cached.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        cached.write_bytes(bytes(blob))
+        assert main(base) == 0  # tolerant: notice, not an error
+        captured = capsysbinary.readouterr()
+        assert captured.out == DATA
+        err = captured.err.decode()
+        assert "index fallback" in err
+        assert "output is complete" in err
+        assert "damage" not in err.lower().replace("index fallback", "")
+
+    def test_rejected_cache_is_healed(self, gz_file, tmp_path, capsysbinary):
+        cache = tmp_path / "cache"
+        base = ["-c", "--index-cache", str(cache), str(gz_file)]
+        assert main(base) == 0
+        cached = next(cache.glob("*.rpzidx"))
+        good = cached.read_bytes()
+        cached.write_bytes(good[: len(good) // 2])  # truncate the cache
+        assert main(base) == 0
+        assert cached.read_bytes() == good  # re-exported, byte-identical
+        capsysbinary.readouterr()
+
 
 class TestAnalyze:
     def test_analyze_prints_structure(self, gz_file, capsys):

@@ -1,13 +1,19 @@
 """Tests for the seek-point index and its serialization."""
 
 import io
+import zlib
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import FormatError, UsageError
-from repro.index import GzipIndex, INDEX_MAGIC, SeekPoint
+from repro.index import (
+    GzipIndex,
+    INDEX_MAGIC,
+    MAX_COMPRESSED_WINDOW,
+    SeekPoint,
+)
 
 
 def make_index(points=3, finalized=True) -> GzipIndex:
@@ -99,6 +105,77 @@ class TestSerialization:
         make_index().save(sink)
         sink.seek(0)
         assert len(GzipIndex.load(sink)) == 3
+
+
+def _raw_v1(points) -> bytes:
+    """Hand-build a v1 index blob from (bit, offset, flags, window) tuples,
+    bypassing GzipIndex's own validation — for malformed-input tests."""
+    out = io.BytesIO()
+    out.write(INDEX_MAGIC)
+    out.write(bytes([1, 1]))  # version, finalized
+    out.write((10**6).to_bytes(8, "little"))
+    out.write((10**6).to_bytes(8, "little"))
+    out.write(len(points).to_bytes(4, "little"))
+    for bit, offset, flags, compressed_window in points:
+        out.write(bit.to_bytes(8, "little"))
+        out.write(offset.to_bytes(8, "little"))
+        out.write(bytes([flags]))
+        out.write(len(compressed_window).to_bytes(4, "little"))
+        out.write(compressed_window)
+    return out.getvalue()
+
+
+class TestMalformedV1:
+    """Hardened v1 parse: every damage class is a FormatError with byte-
+    offset context, never a leaked struct.error/zlib.error."""
+
+    def test_truncation_at_every_boundary(self):
+        data = make_index().to_bytes()
+        for cut in (0, 4, 8, 9, 10, 17, 25, 29, 30, 37, 45, 46, 49,
+                    len(data) - 1):
+            with pytest.raises(FormatError) as info:
+                GzipIndex.from_bytes(data[:cut])
+            assert "byte offset" in str(info.value) or "index file" in str(
+                info.value
+            )
+
+    def test_oversized_window_length_rejected(self):
+        blob = _raw_v1([(100, 0, 1, b"")])
+        # Patch the window-length field to an absurd value; the parser
+        # must reject it *before* trying to allocate or read it.
+        damaged = blob[:-4] + (MAX_COMPRESSED_WINDOW + 1).to_bytes(4, "little")
+        with pytest.raises(FormatError, match="implausible window length"):
+            GzipIndex.from_bytes(damaged)
+
+    def test_undecodable_window_is_format_error(self):
+        garbage = b"\xff\x00\xaa" * 30
+        blob = _raw_v1([(100, 0, 0, garbage)])
+        with pytest.raises(FormatError, match="corrupt window"):
+            GzipIndex.from_bytes(blob)
+
+    def test_window_inflating_past_32k_rejected(self):
+        bomb = zlib.compress(b"\x00" * (40 * 1024), 9)
+        assert len(bomb) <= MAX_COMPRESSED_WINDOW
+        blob = _raw_v1([(100, 0, 0, bomb)])
+        with pytest.raises(FormatError, match="inflates to"):
+            GzipIndex.from_bytes(blob)
+
+    def test_non_monotonic_points_rejected(self):
+        window = zlib.compress(b"x" * 100)
+        blob = _raw_v1([(1000, 5000, 0, window), (900, 4000, 0, window)])
+        with pytest.raises(FormatError, match="non-monotonic"):
+            GzipIndex.from_bytes(blob)
+
+    def test_flipped_bytes_never_leak_internal_errors(self):
+        from repro import faults
+
+        data = make_index().to_bytes()
+        for seed in range(40):
+            damaged = faults.flip_bytes(data, seed=seed, flips=3)
+            try:
+                GzipIndex.from_bytes(damaged)
+            except FormatError:
+                pass  # typed rejection is the contract
 
 
 @settings(max_examples=30, deadline=None)
