@@ -27,6 +27,7 @@ _HERE = pathlib.Path(__file__).parent
 sys.path.insert(0, str(_HERE))  # conftest, bench_decode_kernels
 
 import bench_decode_kernels as kernels  # noqa: E402
+import bench_parallel_friendly as parallel_friendly  # noqa: E402
 
 
 def baseline_entry(document: dict) -> dict:
@@ -63,21 +64,41 @@ def measure(reps: int) -> dict:
         kernels.REPS = original_reps
 
 
+#: name -> (measure(reps) -> fresh series, committed baseline, default reps)
+SUITES = {
+    "kernels": (measure, kernels.TRAJECTORY_PATH, kernels.REPS),
+    "parallel-friendly": (
+        parallel_friendly.measure,
+        parallel_friendly.TRAJECTORY_PATH,
+        parallel_friendly.REPS,
+    ),
+}
+
+
+def _metric_keys(baseline: dict) -> list:
+    """Throughput keys a baseline entry tracks (``*_mb_s``)."""
+    if baseline.get("series_keys"):
+        return list(baseline["series_keys"])
+    return [
+        f"{decoder}_mb_s"
+        for decoder in baseline.get("decoders", ("fused", "legacy"))
+    ]
+
+
 def compare(baseline: dict, fresh: dict, threshold: float) -> list:
-    """One comparison row per (series, decoder) present in both runs."""
+    """One comparison row per (series, metric) present in both runs."""
     rows = []
     for series, committed in sorted(baseline.get("results", {}).items()):
         current = fresh.get(series)
         if current is None:
             continue
-        for decoder in baseline.get("decoders", ("fused", "legacy")):
-            key = f"{decoder}_mb_s"
+        for key in _metric_keys(baseline):
             before, after = committed.get(key), current.get(key)
             if not before or not after:
                 continue
             change = after / before - 1.0
             rows.append({
-                "series": f"{series}/{decoder}",
+                "series": f"{series}/{key[: -len('_mb_s')]}",
                 "baseline_mb_s": before,
                 "current_mb_s": after,
                 "change": round(change, 4),
@@ -86,38 +107,22 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list:
     return rows
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--baseline", type=pathlib.Path,
-        default=kernels.TRAJECTORY_PATH,
-        help="committed BENCH_*.json to compare against",
-    )
-    parser.add_argument(
-        "--threshold", type=float, default=0.15,
-        help="fractional slowdown that fails the check (default 0.15)",
-    )
-    parser.add_argument(
-        "--reps", type=int, default=kernels.REPS,
-        help="best-of-N repetitions (lower = faster, noisier)",
-    )
-    parser.add_argument(
-        "--json", metavar="FILE",
-        help="also write the comparison as JSON ('-' for stdout)",
-    )
-    arguments = parser.parse_args(argv)
-
-    if not arguments.baseline.exists():
-        print(f"check_regression: no baseline at {arguments.baseline}",
+def run_suite(name: str, arguments) -> tuple:
+    """Measure one suite; returns (exit_code, comparison rows)."""
+    suite_measure, default_baseline, default_reps = SUITES[name]
+    baseline_path = arguments.baseline or default_baseline
+    if not baseline_path.exists():
+        print(f"check_regression: no baseline at {baseline_path}",
               file=sys.stderr)
-        return 2
-    baseline = baseline_entry(json.loads(arguments.baseline.read_text()))
+        return 2, []
+    baseline = baseline_entry(json.loads(baseline_path.read_text()))
+    reps = arguments.reps or default_reps
 
-    print(f"check_regression: measuring (best-of-{arguments.reps}, "
-          f"{baseline.get('corpus_size', 0) >> 20} MiB corpora, "
-          f"decoders {'/'.join(baseline.get('decoders', ('fused', 'legacy')))}"
+    print(f"check_regression[{name}]: measuring (best-of-{reps}, "
+          f"{baseline.get('corpus_size', 0) >> 20} MiB corpora, series "
+          f"{'/'.join(key[: -len('_mb_s')] for key in _metric_keys(baseline))}"
           ")...")
-    fresh = measure(arguments.reps)
+    fresh = suite_measure(reps)
     rows = compare(baseline, fresh, arguments.threshold)
 
     width = max((len(row["series"]) for row in rows), default=10)
@@ -128,27 +133,67 @@ def main(argv=None) -> int:
               f"({row['change']:+7.1%})  {flag}")
 
     regressed = [row for row in rows if row["regressed"]]
-    verdict = {
-        "schema": 1,
-        "baseline": str(arguments.baseline),
-        "threshold": arguments.threshold,
-        "series": rows,
-        "regressed": [row["series"] for row in regressed],
-    }
+    if regressed:
+        print(f"check_regression[{name}]: {len(regressed)} series regressed "
+              f"more than {arguments.threshold:.0%}", file=sys.stderr)
+        return 1, rows
+    print(f"check_regression[{name}]: all {len(rows)} series within "
+          f"{arguments.threshold:.0%} of baseline")
+    return 0, rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite", default="kernels",
+        choices=[*SUITES, "all"],
+        help="which committed baseline to replay (default: kernels)",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="committed BENCH_*.json to compare against (default: the "
+        "suite's own trajectory file; only meaningful for a single suite)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="fractional slowdown that fails the check (default 0.15)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="best-of-N repetitions (lower = faster, noisier; default: "
+        "the suite's committed rep count)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write the comparison as JSON ('-' for stdout)",
+    )
+    arguments = parser.parse_args(argv)
+
+    suites = list(SUITES) if arguments.suite == "all" else [arguments.suite]
+    if arguments.baseline and len(suites) > 1:
+        parser.error("--baseline only applies to a single --suite")
+
+    worst = 0
+    all_rows = []
+    for name in suites:
+        code, rows = run_suite(name, arguments)
+        worst = max(worst, code)
+        all_rows.extend(rows)
+
     if arguments.json:
+        verdict = {
+            "schema": 1,
+            "suites": suites,
+            "threshold": arguments.threshold,
+            "series": all_rows,
+            "regressed": [r["series"] for r in all_rows if r["regressed"]],
+        }
         text = json.dumps(verdict, indent=2, sort_keys=True) + "\n"
         if arguments.json == "-":
             sys.stdout.write(text)
         else:
             pathlib.Path(arguments.json).write_text(text)
-
-    if regressed:
-        print(f"check_regression: {len(regressed)} series regressed more "
-              f"than {arguments.threshold:.0%}", file=sys.stderr)
-        return 1
-    print(f"check_regression: all {len(rows)} series within "
-          f"{arguments.threshold:.0%} of baseline")
-    return 0
+    return worst
 
 
 if __name__ == "__main__":

@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-verify", action="store_true", help="skip CRC-32/ISIZE verification"
     )
+    parser.add_argument(
+        "--no-catalog",
+        action="store_true",
+        help="ignore embedded MZ/RG chunk catalogs and decode via the "
+        "marker-based search path (baseline for benchmarking "
+        "parallel-friendly archives)",
+    )
 
     robustness = parser.add_argument_group("robustness")
     robustness.add_argument(
@@ -200,8 +207,26 @@ def build_parser() -> argparse.ArgumentParser:
     actions.add_argument(
         "--layout",
         default="members",
-        choices=["members", "bgzf"],
-        help="parallel compression output layout",
+        choices=["members", "bgzf", "parallel-friendly", "chunk-isolated"],
+        help="parallel compression output layout; parallel-friendly and "
+        "chunk-isolated embed an MZ/RG chunk catalog in the first gzip "
+        "header so readers skip marker decode and block-finder search",
+    )
+    actions.add_argument(
+        "--parallel-friendly",
+        action="store_true",
+        help="shorthand for --parallel-compress --layout parallel-friendly: "
+        "independent members with a self-describing chunk catalog, still "
+        "decodable by stock gunzip",
+    )
+    actions.add_argument(
+        "--chunk-isolated-size",
+        type=int,
+        default=None,
+        metavar="KiB",
+        help="shorthand for --parallel-compress --layout chunk-isolated "
+        "with the given chunk size: one gzip member whose Deflate stream "
+        "resets LZ77 history at byte-aligned chunk boundaries",
     )
     observability = parser.add_argument_group("observability")
     observability.add_argument(
@@ -316,16 +341,29 @@ def main(argv=None) -> int:
 
 
 def _dispatch(arguments) -> int:
+    if arguments.parallel_friendly:
+        arguments.parallel_compress = True
+        arguments.layout = "parallel-friendly"
+    if arguments.chunk_isolated_size is not None:
+        arguments.parallel_compress = True
+        arguments.layout = "chunk-isolated"
+
     if arguments.compress:
         data = _read_input(arguments.file)
         if arguments.parallel_compress:
             from .gz.parallel_writer import compress_parallel
 
+            writer_options = {}
+            if arguments.chunk_isolated_size is not None:
+                writer_options["chunk_size"] = (
+                    arguments.chunk_isolated_size * 1024
+                )
             blob = compress_parallel(
                 data,
                 parallelization=max(arguments.parallelization, 1),
                 level=arguments.level if arguments.level is not None else 6,
                 layout=arguments.layout,
+                **writer_options,
             )
         else:
             from .gz.writer import compress as gz_compress
@@ -392,6 +430,7 @@ def _dispatch(arguments) -> int:
         trace=bool(arguments.trace) or explain,
         events=bool(arguments.events) or explain,
         decoder=arguments.decoder,
+        detect_catalog=not arguments.no_catalog,
         max_memory=arguments.max_memory,
         spill_dir=arguments.spill_dir,
         metrics_port=arguments.metrics_port,

@@ -115,12 +115,20 @@ class CompressorOptions:
     ``block_size`` sets how many *uncompressed* bytes go into each Deflate
     block — compressors differ wildly here (paper §4.8) and it directly
     controls how much parallelism a decompressor can find.
+
+    ``chunk_isolated`` resets the LZ77 history every ``chunk_size``
+    uncompressed bytes and flushes each chunk to a byte-aligned boundary, so
+    every chunk decodes standalone with an empty window (ACEAPEX-style
+    parallel-friendly encoding). The compressor records the resulting
+    ``(bit_offset, uncompressed_offset)`` boundaries in ``self.boundaries``.
     """
 
     level: int = 6
     block_size: int = 64 * 1024
     block_type: str = "dynamic"  # "dynamic" | "fixed" | "stored" | "auto"
     huffman_only: bool = False  # disable LZ matching (igzip -0 style entropy-only)
+    chunk_isolated: bool = False
+    chunk_size: int = None  # uncompressed bytes per isolated chunk
 
     def __post_init__(self):
         if self.level < 0 or self.level > 9:
@@ -129,6 +137,10 @@ class CompressorOptions:
             raise UsageError(f"unknown block type {self.block_type!r}")
         if self.block_size < 1:
             raise UsageError("block_size must be positive")
+        if self.chunk_size is None:
+            self.chunk_size = 4 * self.block_size if self.chunk_isolated else 0
+        elif self.chunk_size < 1:
+            raise UsageError("chunk_size must be positive")
 
 
 class DeflateCompressor:
@@ -136,6 +148,9 @@ class DeflateCompressor:
 
     def __init__(self, options: CompressorOptions = None):
         self.options = options or CompressorOptions()
+        #: ``(bit_offset, uncompressed_offset)`` chunk starts recorded by the
+        #: most recent chunk-isolated compression (empty otherwise).
+        self.boundaries = []
 
     def compress(self, data: bytes) -> bytes:
         writer = BitWriter()
@@ -143,9 +158,46 @@ class DeflateCompressor:
         return writer.getvalue()
 
     def compress_into(self, writer: BitWriter, data: bytes) -> None:
+        self.boundaries = []
+        if self.options.chunk_isolated:
+            self._compress_chunk_isolated(writer, data)
+        else:
+            self._compress_segment(writer, data, final=True)
+
+    def _compress_chunk_isolated(self, writer: BitWriter, data: bytes) -> None:
+        """Emit isolated chunks: no cross-chunk matches, byte-aligned starts."""
+        chunk_size = self.options.chunk_size
+        chunks = [
+            data[start : start + chunk_size]
+            for start in range(0, len(data), chunk_size)
+        ] or [b""]
+        offset = 0
+        for index, chunk in enumerate(chunks):
+            last = index == len(chunks) - 1
+            if writer.bit_length % 8:
+                raise UsageError("chunk-isolated chunks must start byte-aligned")
+            self.boundaries.append((writer.bit_length, offset))
+            self._compress_segment(writer, chunk, final=last)
+            if not last:
+                # Sync flush: empty stored block realigns the stream to a
+                # byte boundary without contributing output, so the next
+                # chunk starts byte-aligned — decodable standalone.
+                writer.write(0, 1)
+                writer.write(0b00, 2)
+                writer.align_to_byte()
+                writer.write(0, 16)
+                writer.write(0xFFFF, 16)
+            offset += len(chunk)
+
+    def _compress_segment(self, writer: BitWriter, data: bytes, *, final: bool) -> None:
+        """Compress ``data`` as a self-contained run of blocks.
+
+        Matches never reach before ``data[0]``; the last block is marked
+        BFINAL only when ``final`` is set.
+        """
         options = self.options
         if options.level == 0 or options.block_type == "stored":
-            self._emit_stored(writer, data)
+            self._emit_stored(writer, data, final=final)
             return
         block_size = options.block_size
         blocks = [
@@ -153,14 +205,14 @@ class DeflateCompressor:
             for start in range(0, len(data), block_size)
         ] or [b""]
         for index, block in enumerate(blocks):
-            final = index == len(blocks) - 1
+            block_final = final and index == len(blocks) - 1
             window_start = max(0, index * block_size - MAX_WINDOW_SIZE)
             window = data[window_start : index * block_size]
             tokens = self._tokenize(block, window)
             if options.block_type == "fixed":
-                self._emit_fixed(writer, tokens, final)
+                self._emit_fixed(writer, tokens, block_final)
             else:
-                self._emit_dynamic(writer, tokens, final)
+                self._emit_dynamic(writer, tokens, block_final)
 
     # -- LZ77 ------------------------------------------------------------------
 
@@ -267,12 +319,12 @@ class DeflateCompressor:
 
     # -- block emission ----------------------------------------------------------
 
-    def _emit_stored(self, writer: BitWriter, data: bytes) -> None:
+    def _emit_stored(self, writer: BitWriter, data: bytes, *, final: bool = True) -> None:
         limit = 65535
         pieces = [data[i : i + limit] for i in range(0, len(data), limit)] or [b""]
         for index, piece in enumerate(pieces):
-            final = index == len(pieces) - 1
-            writer.write(1 if final else 0, 1)
+            piece_final = final and index == len(pieces) - 1
+            writer.write(1 if piece_final else 0, 1)
             writer.write(0b00, 2)
             writer.align_to_byte()
             writer.write(len(piece), 16)

@@ -33,6 +33,8 @@ from ..errors import (
     WorkerCrashedError,
 )
 from ..gz.bgzf import bgzf_block_offsets, is_bgzf
+from ..gz.catalog import detect_catalog as probe_catalog
+from ..gz.catalog import synthesize_index
 from ..index.store import window_bytes
 from ..io import ensure_file_reader
 from ..pool import (
@@ -88,6 +90,7 @@ class GzipChunkFetcher:
         index=None,
         prefetch_cache_size: int = None,
         detect_bgzf: bool = True,
+        detect_catalog: bool = True,
         backend: str = "auto",
         max_retries: int = 2,
         chunk_timeout: float = None,
@@ -136,8 +139,22 @@ class GzipChunkFetcher:
         # Mode detection must precede pool creation: backend="auto" picks
         # processes only for the GIL-bound search mode, and a process
         # pool's reader recipe must be registered before workers fork.
+        # Precedence: explicit index > embedded chunk catalog > BGZF >
+        # search — an explicit index is the caller's word, a catalog is
+        # the encoder's.
         self._index = None
         self._bgzf_groups = None
+        self.catalog = None
+        self.catalog_index = None
+        self.catalog_errors: list = []
+        if index is None and detect_catalog:
+            self.catalog, self.catalog_errors = probe_catalog(self.file_reader)
+            if self.catalog is not None:
+                self.catalog_index = synthesize_index(
+                    self.catalog, self.file_reader.size()
+                )
+                index = self.catalog_index
+            self._note_catalog_probe()
         if index is not None and getattr(index, "finalized", False) and len(index):
             self._index = index
             self.mode = "index"
@@ -229,6 +246,27 @@ class GzipChunkFetcher:
             "cache.access", lambda: self.access_cache.snapshot()
         )
         metrics.probe("fetcher.inflight_decodes", lambda: len(self._futures))
+
+    def _note_catalog_probe(self) -> None:
+        """Account the open-time catalog probe in metrics and events."""
+        metrics = self.telemetry.metrics
+        events = self.telemetry.events
+        if self.catalog_errors:
+            metrics.counter("encoding.catalog_rejected").increment(
+                len(self.catalog_errors)
+            )
+            if events.enabled:
+                for reason in self.catalog_errors:
+                    events.emit("catalog-rejected", reason=reason)
+        if self.catalog is not None:
+            metrics.counter("encoding.catalog_detected").increment()
+            if events.enabled:
+                events.emit(
+                    "catalog-detected",
+                    source=self.catalog.source,
+                    layout=self.catalog.layout,
+                    chunks=len(self.catalog.chunks),
+                )
 
     def _note_eviction(self, cache: str):
         """Cache-eviction hook emitting the ``evicted`` lifecycle event."""
@@ -1000,6 +1038,28 @@ class GzipChunkFetcher:
                 )
             },
             "memory": memory,
+            "encoding": {
+                "catalog_detected": self.catalog is not None,
+                "source": self.catalog.source if self.catalog else None,
+                "layout": self.catalog.layout if self.catalog else None,
+                "chunks": len(self.catalog.chunks) if self.catalog else 0,
+                "catalog_rejected": self.telemetry.metrics.counter(
+                    "encoding.catalog_rejected"
+                ).value,
+                "catalog_errors": list(self.catalog_errors),
+                "markers_replaced": self.telemetry.metrics.counter(
+                    "decode.markers_replaced"
+                ).value,
+                "blockfinder_searches": self.telemetry.metrics.counter(
+                    "blockfinder.candidates_tested"
+                ).value,
+                "chunk_crc_checked": self.telemetry.metrics.counter(
+                    "encoding.chunk_crc_checked"
+                ).value,
+                "chunk_crc_failures": self.telemetry.metrics.counter(
+                    "encoding.chunk_crc_failures"
+                ).value,
+            },
             "chunk_split_size": self.chunk_split_size,
             "chunk_splits": self._chunk_splits.value,
             "speculative_shed": self._speculative_shed.value,

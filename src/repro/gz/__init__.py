@@ -5,6 +5,7 @@ from .header import (
     GzipFooter,
     GzipHeader,
     MAGIC,
+    build_extra_subfields,
     parse_gzip_footer,
     parse_gzip_header,
     serialize_gzip_footer,
@@ -19,10 +20,15 @@ __all__ = [
     "GzipFooter",
     "GzipHeader",
     "MAGIC",
+    "build_extra_subfields",
     "parse_gzip_footer",
     "parse_gzip_header",
     "serialize_gzip_footer",
     "serialize_gzip_header",
+    "ArchiveCatalog",
+    "CatalogChunk",
+    "detect_catalog",
+    "synthesize_index",
     "MemberInfo",
     "count_streams",
     "decompress",
@@ -41,8 +47,23 @@ def __getattr__(name):
         from . import bgzf
 
         return getattr(bgzf, name)
-    if name in ("ParallelGzipWriter", "compress_parallel"):
+    if name in ("ParallelGzipWriter", "compress_parallel", "CATALOGUED_LAYOUTS"):
         from . import parallel_writer
 
         return getattr(parallel_writer, name)
+    if name in (
+        "ArchiveCatalog",
+        "CatalogChunk",
+        "build_mz_payload",
+        "parse_mz_payload",
+        "build_rg_payload",
+        "parse_rg_payload",
+        "detect_catalog",
+        "synthesize_index",
+        "MZ_SUBFIELD_ID",
+        "RG_SUBFIELD_ID",
+    ):
+        from . import catalog
+
+        return getattr(catalog, name)
     raise AttributeError(f"module 'repro.gz' has no attribute {name!r}")

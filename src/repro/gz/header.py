@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import GzipHeaderError, TruncatedError
+from ..errors import GzipHeaderError, TruncatedError, UsageError
 from .crc32 import fast_crc32
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "parse_gzip_footer",
     "serialize_gzip_header",
     "serialize_gzip_footer",
+    "build_extra_subfields",
     "FTEXT",
     "FHCRC",
     "FEXTRA",
@@ -147,18 +148,59 @@ def parse_gzip_footer(reader) -> GzipFooter:
     )
 
 
+def build_extra_subfields(subfields) -> bytes:
+    """Encode ``(si1, si2, payload)`` subfields into one FEXTRA blob.
+
+    RFC 1952 frames each subfield as SI1 SI2 LEN(u16 LE) payload; the whole
+    blob must fit the u16 XLEN field.
+    """
+    out = bytearray()
+    for si1, si2, payload in subfields:
+        if isinstance(si1, (bytes, bytearray)):
+            si1 = si1[0]
+        if isinstance(si2, (bytes, bytearray)):
+            si2 = si2[0]
+        if len(payload) > 0xFFFF:
+            raise UsageError(
+                f"FEXTRA subfield {chr(si1)}{chr(si2)} payload is "
+                f"{len(payload)} bytes; the u16 LEN field caps it at 65535"
+            )
+        out.append(si1)
+        out.append(si2)
+        out += len(payload).to_bytes(2, "little")
+        out += payload
+    if len(out) > 0xFFFF:
+        raise UsageError(
+            f"FEXTRA blob is {len(out)} bytes; the u16 XLEN field caps the "
+            "combined subfields at 65535"
+        )
+    return bytes(out)
+
+
 def serialize_gzip_header(
     *,
     ftext: bool = False,
     mtime: int = 0,
     xfl: int = 0,
     os: int = OS_UNIX,
-    extra: bytes = None,
+    extra=None,
     name: str = None,
     comment: str = None,
     header_crc: bool = False,
 ) -> bytes:
-    """Build a member header with the requested optional fields."""
+    """Build a member header with the requested optional fields.
+
+    ``extra`` may be a raw FEXTRA blob (``bytes``) or a list of
+    ``(si1, si2, payload)`` subfield tuples, which are framed via
+    :func:`build_extra_subfields`.
+    """
+    if extra is not None and not isinstance(extra, (bytes, bytearray)):
+        extra = build_extra_subfields(extra)
+    if extra is not None and len(extra) > 0xFFFF:
+        raise UsageError(
+            f"FEXTRA blob is {len(extra)} bytes; the u16 XLEN field caps it "
+            "at 65535"
+        )
     flags = (
         (FTEXT if ftext else 0)
         | (FEXTRA if extra is not None else 0)

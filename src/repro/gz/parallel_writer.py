@@ -9,9 +9,19 @@ compressed independently (zlib releases the GIL, so threads give real
 parallelism even in Python), and the results are concatenated in order as
 
 * independent gzip members (``layout="members"`` — decompressible by
-  anything, parallel-decompressible by this library's multi-member path), or
+  anything, parallel-decompressible by this library's multi-member path),
 * BGZF members with BSIZE metadata (``layout="bgzf"`` — enables the
-  reader's metadata fast path).
+  reader's metadata fast path),
+* self-describing members (``layout="parallel-friendly"`` — members plus an
+  MZ/RG chunk catalog in the first header, so readers synthesize a complete
+  seek index at open with zero searching), or
+* one member with isolated Deflate chunks (``layout="chunk-isolated"`` —
+  LZ77 history reset and byte-aligned flush at every chunk boundary,
+  advertised in an RG catalog; the densest parallel-friendly form).
+
+The catalogued layouts buffer compressed results until :meth:`close`
+because the catalog in the *first* header records every chunk's compressed
+offset; they trade streaming output for marker-free parallel decode.
 
 Files produced here are first-class inputs for ParallelGzipReader: many
 member boundaries mean many chunk boundaries.
@@ -24,10 +34,38 @@ import zlib
 from ..errors import UsageError
 from ..pool import ThreadPool
 from .bgzf import BGZF_EOF_BLOCK, MAX_BGZF_PAYLOAD, write_bgzf_member
-from .crc32 import fast_crc32
-from .header import serialize_gzip_footer, serialize_gzip_header
+from .catalog import (
+    ArchiveCatalog,
+    CatalogChunk,
+    MZ_SUBFIELD_ID,
+    RG_SUBFIELD_ID,
+    build_mz_payload,
+    build_rg_payload,
+)
+from .crc32 import crc32_combine, fast_crc32
+from .header import (
+    build_extra_subfields,
+    serialize_gzip_footer,
+    serialize_gzip_header,
+)
 
-__all__ = ["ParallelGzipWriter", "compress_parallel"]
+__all__ = ["ParallelGzipWriter", "compress_parallel", "CATALOGUED_LAYOUTS"]
+
+#: Layouts that assemble output at close time around a chunk catalog.
+CATALOGUED_LAYOUTS = ("parallel-friendly", "chunk-isolated")
+
+#: Final empty fixed-Huffman block (BFINAL=1, BTYPE=01, EOB) terminating a
+#: chunk-isolated Deflate stream.
+_FINAL_EMPTY_BLOCK = b"\x03\x00"
+
+def _mz_framed_size(count: int) -> int:
+    """Framed size of an MZ subfield: 4-byte frame + u32 count + u32 each."""
+    return 4 + 4 + 4 * count
+
+
+def _rg_framed_size(count: int) -> int:
+    """Framed size of an RG subfield: 4-byte frame + 28 fixed + 20 each."""
+    return 4 + 28 + 20 * count
 
 
 def _member_task(piece: bytes, level: int, layout: str) -> bytes:
@@ -42,6 +80,23 @@ def _member_task(piece: bytes, level: int, layout: str) -> bytes:
     )
 
 
+def _catalogued_task(piece: bytes, level: int, layout: str) -> tuple:
+    """Compress one chunk for a catalogued layout.
+
+    Returns ``(compressed, crc32, length)``; for ``chunk-isolated`` the
+    compressed bytes end with a Z_FULL_FLUSH (empty stored block) so the
+    next chunk starts byte-aligned with fresh LZ77 history.
+    """
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    if layout == "chunk-isolated":
+        compressed = compressor.compress(piece) + compressor.flush(
+            zlib.Z_FULL_FLUSH
+        )
+    else:
+        compressed = compressor.compress(piece) + compressor.flush()
+    return compressed, fast_crc32(piece), len(piece)
+
+
 class ParallelGzipWriter:
     """Streaming parallel compressor over a binary file object."""
 
@@ -54,7 +109,7 @@ class ParallelGzipWriter:
         chunk_size: int = 512 * 1024,
         layout: str = "members",
     ):
-        if layout not in ("members", "bgzf"):
+        if layout not in ("members", "bgzf") + CATALOGUED_LAYOUTS:
             raise UsageError(f"unknown layout {layout!r}")
         if layout == "bgzf" and chunk_size > MAX_BGZF_PAYLOAD:
             chunk_size = MAX_BGZF_PAYLOAD
@@ -68,6 +123,8 @@ class ParallelGzipWriter:
         self._pending: list = []  # futures, in input order
         self._buffer = bytearray()
         self._closed = False
+        #: Finished (compressed, crc, length) tuples for catalogued layouts.
+        self._results: list = []
         #: Bound memory: don't let more than this many members queue up.
         self._max_pending = 4 * max(parallelization, 1)
 
@@ -82,27 +139,136 @@ class ParallelGzipWriter:
         return len(data)
 
     def _submit(self, piece: bytes) -> None:
+        task = (
+            _catalogued_task
+            if self._layout in CATALOGUED_LAYOUTS
+            else _member_task
+        )
         self._pending.append(
-            self._pool.submit(_member_task, piece, self._level, self._layout)
+            self._pool.submit(task, piece, self._level, self._layout)
         )
         while len(self._pending) > self._max_pending:
             self._drain_one()
 
     def _drain_one(self) -> None:
-        self._fileobj.write(self._pending.pop(0).result())
+        result = self._pending.pop(0).result()
+        if self._layout in CATALOGUED_LAYOUTS:
+            # Catalogued layouts assemble at close: the first header's
+            # catalog records every chunk's compressed offset.
+            self._results.append(result)
+        else:
+            self._fileobj.write(result)
 
     def close(self) -> None:
         if self._closed:
             return
-        if self._buffer or not self._pending:
+        if self._buffer or not (self._pending or self._results):
             self._submit(bytes(self._buffer))
             self._buffer.clear()
         while self._pending:
             self._drain_one()
-        if self._layout == "bgzf":
+        if self._layout == "parallel-friendly":
+            self._write_parallel_friendly()
+        elif self._layout == "chunk-isolated":
+            self._write_chunk_isolated()
+        elif self._layout == "bgzf":
             self._fileobj.write(BGZF_EOF_BLOCK)
         self._pool.shutdown()
         self._closed = True
+
+    # -- catalogued assembly ---------------------------------------------------
+
+    def _write_parallel_friendly(self) -> None:
+        """Members layout with an MZ+RG chunk catalog in the first header."""
+        results = self._results
+        count = len(results)
+        include_rg = True
+        extra_size = _mz_framed_size(count) + _rg_framed_size(count)
+        if extra_size > 0xFFFF:
+            # MZ alone reaches ~4x more chunks; still fully seekable, just
+            # without per-chunk bit offsets and CRCs.
+            include_rg = False
+            extra_size = _mz_framed_size(count)
+        if extra_size > 0xFFFF:
+            raise UsageError(
+                f"{count} chunks overflow the u16 FEXTRA catalog; raise "
+                f"chunk_size so the archive has at most "
+                f"{(0xFFFF - 8) // 4} chunks"
+            )
+        first_header_size = 12 + extra_size
+        member_sizes = [
+            (first_header_size if number == 0 else 10) + len(compressed) + 8
+            for number, (compressed, _crc, _length) in enumerate(results)
+        ]
+
+        chunks = []
+        start_byte = 0
+        output_offset = 0
+        for number, (_compressed, crc, length) in enumerate(results):
+            chunks.append(CatalogChunk(start_byte * 8, output_offset, crc))
+            start_byte += member_sizes[number]
+            output_offset += length
+        catalog = ArchiveCatalog(
+            layout="members",
+            source="rg",
+            chunks=chunks,
+            uncompressed_size=output_offset,
+            compressed_size=sum(member_sizes),
+        )
+        subfields = [MZ_SUBFIELD_ID + (build_mz_payload(member_sizes),)]
+        if include_rg:
+            subfields.append(RG_SUBFIELD_ID + (build_rg_payload(catalog),))
+        extra = build_extra_subfields(subfields)
+
+        for number, (compressed, crc, length) in enumerate(results):
+            header = serialize_gzip_header(extra=extra if number == 0 else None)
+            self._fileobj.write(header)
+            self._fileobj.write(compressed)
+            self._fileobj.write(serialize_gzip_footer(crc, length))
+
+    def _write_chunk_isolated(self) -> None:
+        """One member whose Deflate stream resets history per chunk."""
+        results = self._results
+        count = len(results)
+        if _rg_framed_size(count) > 0xFFFF:
+            raise UsageError(
+                f"{count} chunks overflow the u16 FEXTRA catalog; raise "
+                f"chunk_size so the archive has at most "
+                f"{(0xFFFF - 32) // 20} chunks"
+            )
+        header_size = 12 + _rg_framed_size(count)
+        total_compressed = (
+            header_size
+            + sum(len(compressed) for compressed, _crc, _length in results)
+            + len(_FINAL_EMPTY_BLOCK)
+            + 8
+        )
+
+        chunks = []
+        start_byte = 0  # chunk 0 addresses the member start (bit 0)
+        output_offset = 0
+        total_crc = 0
+        for compressed, crc, length in results:
+            chunks.append(CatalogChunk(start_byte * 8, output_offset, crc))
+            start_byte = (start_byte or header_size) + len(compressed)
+            output_offset += length
+            total_crc = crc32_combine(total_crc, crc, length)
+        catalog = ArchiveCatalog(
+            layout="chunk-isolated",
+            source="rg",
+            chunks=chunks,
+            uncompressed_size=output_offset,
+            compressed_size=total_compressed,
+        )
+        extra = build_extra_subfields(
+            [RG_SUBFIELD_ID + (build_rg_payload(catalog),)]
+        )
+
+        self._fileobj.write(serialize_gzip_header(extra=extra))
+        for compressed, _crc, _length in results:
+            self._fileobj.write(compressed)
+        self._fileobj.write(_FINAL_EMPTY_BLOCK)
+        self._fileobj.write(serialize_gzip_footer(total_crc, output_offset))
 
     def __enter__(self) -> "ParallelGzipWriter":
         return self

@@ -69,6 +69,7 @@ class ParallelGzipReader:
         pugz_compatible: bool = False,
         max_chunk_output: int = None,
         detect_bgzf: bool = True,
+        detect_catalog: bool = True,
         seek_point_spacing: int = None,
         backend: str = "auto",
         tolerate_corruption: bool = False,
@@ -120,6 +121,17 @@ class ParallelGzipReader:
         after that first full pass the fresh index is atomically
         re-exported, healing the cache. Caching needs a real file path
         (it is skipped for byte buffers and file objects).
+
+        ``detect_catalog`` controls the open-time probe for an embedded
+        MZ/RG chunk catalog (written by ``layout="parallel-friendly"`` or
+        ``"chunk-isolated"`` archives, or by mgzip). A detected catalog
+        synthesizes a complete seek index up front: every chunk decodes
+        on the conventional fast path with zero block-finder searches and
+        zero marker-mode decodes, and per-chunk catalog CRCs are verified
+        as chunks materialize. Set it to ``False`` to force the ordinary
+        search path (benchmark baseline). A malformed catalog is never
+        fatal — it is recorded in telemetry and the reader falls back to
+        searching.
 
         ``backend`` picks the worker pool: ``"threads"``, ``"processes"``,
         or ``"auto"`` (the default), which uses processes exactly when the
@@ -187,6 +199,15 @@ class ParallelGzipReader:
         self._bytes_returned = self.telemetry.metrics.counter(
             "reader.bytes_returned"
         )
+        self._markers_replaced = self.telemetry.metrics.counter(
+            "decode.markers_replaced"
+        )
+        self._chunk_crc_checked = self.telemetry.metrics.counter(
+            "encoding.chunk_crc_checked"
+        )
+        self._chunk_crc_failures = self.telemetry.metrics.counter(
+            "encoding.chunk_crc_failures"
+        )
         self._opened_at = time.perf_counter()
         self.telemetry.metrics.probe(
             "reader.uptime_seconds",
@@ -245,6 +266,7 @@ class ParallelGzipReader:
                 max_chunk_output=max_chunk_output,
                 index=index,
                 detect_bgzf=allow_bgzf,
+                detect_catalog=detect_catalog,
                 backend=backend,
                 max_retries=max_retries,
                 chunk_timeout=chunk_timeout,
@@ -312,6 +334,20 @@ class ParallelGzipReader:
                 raise
 
     def _init_chunk_chain(self, index) -> None:
+        self._index_from_catalog = False
+        self._catalog_crc: dict = {}  # start_bit -> (crc32, length)
+        if index is None and self._fetcher.catalog_index is not None:
+            # The encoder advertised its chunk layout in the first header:
+            # adopt the synthesized index (empty windows — no chunk needs
+            # history) and remember the per-chunk CRCs for verification.
+            index = self._fetcher.catalog_index
+            self._index_from_catalog = True
+            catalog = self._fetcher.catalog
+            self._catalog_crc = {
+                chunk.start_bit: (chunk.crc32, catalog.chunk_length(number))
+                for number, chunk in enumerate(catalog.chunks)
+                if chunk.crc32 is not None
+            }
         initial = self._fetcher.initial_chunk()
         if index is not None:
             self._index = index
@@ -433,6 +469,10 @@ class ParallelGzipReader:
             self._index_cache_path is None
             or self._index_imported
             or self._index_exported
+            # A catalog-synthesized index is already embedded in the file
+            # itself; persisting its empty windows would shadow (or evict)
+            # a real window-bearing cache entry for no gain.
+            or self._index_from_catalog
             or not self._index.finalized
             or not len(self._index)
         ):
@@ -739,13 +779,16 @@ class ParallelGzipReader:
             "chunk.materialize", start_bit=result.start_bit
         ):
             data = result.payload.materialize(window)
-        events = self.telemetry.events
-        if events.enabled and not result.window_known:
+        if not result.window_known:
             # Marker symbols just got their window: the two-stage decode's
             # second stage, the moment speculative output becomes real.
-            events.emit(
-                "markers-replaced", bit=result.start_bit, nbytes=len(data)
-            )
+            # Counted always — a parallel-friendly archive asserts zero.
+            self._markers_replaced.increment()
+            events = self.telemetry.events
+            if events.enabled:
+                events.emit(
+                    "markers-replaced", bit=result.start_bit, nbytes=len(data)
+                )
         if self._pugz_compatible and data:
             import numpy as np
 
@@ -883,12 +926,35 @@ class ParallelGzipReader:
                 self._cache_materialized(record.start_bit, data)
                 return data
             data = self._materialize_result(result, record.window)
+            self._verify_catalog_chunk(record, data)
             self._cache_materialized(record.start_bit, data)
             # In index mode chunks materialize here, not via the chain walk;
             # verification proceeds while consumption stays in order and
             # silently stands down on the first out-of-order access.
             self._verify_sequential(record, data, result.events)
         return data
+
+    def _verify_catalog_chunk(self, record: ChunkRecord, data: bytes) -> None:
+        """Check a freshly decoded chunk against its catalog CRC.
+
+        Unlike the member-footer running CRC, this works at any access
+        order — every catalogued chunk is independently verifiable.
+        """
+        if not self._verify or not self._catalog_crc:
+            return
+        entry = self._catalog_crc.get(record.start_bit)
+        if entry is None:
+            return
+        crc, length = entry
+        self._chunk_crc_checked.increment()
+        if len(data) != length or fast_crc32(data) != crc:
+            self._chunk_crc_failures.increment()
+            self._integrity_failure(
+                record,
+                f"catalog chunk CRC mismatch at output offset "
+                f"{record.output_start}: stored {crc:#010x}/{length}B, "
+                f"computed {fast_crc32(data):#010x}/{len(data)}B",
+            )
 
     def _record_index_damage(self, record: ChunkRecord, error) -> bytes:
         from ..recovery import DamagedRegion

@@ -135,6 +135,36 @@ def format_profile(statistics: dict, *, wall_time: float = None,
         if summary and summary.get("count"):
             info(_histogram_line(label, summary))
 
+    # Parallel-friendly encoding: reported when the file advertised a
+    # chunk catalog (or a present catalog was rejected) — the skipped
+    # stages are exactly the point, so they are attributed explicitly.
+    encoding = statistics.get("encoding")
+    if encoding and (
+        encoding.get("catalog_detected") or encoding.get("catalog_rejected")
+    ):
+        if encoding.get("catalog_detected"):
+            info(
+                f"{'Encoding catalog':<28}: {encoding.get('source', '?').upper()} "
+                f"subfield, {encoding.get('layout', '?')} layout, "
+                f"{encoding.get('chunks', 0)} chunk(s) — marker decode and "
+                f"block-finder search skipped"
+            )
+            info(
+                f"{'Marker-free decode':<28}: "
+                f"{encoding.get('markers_replaced', 0)} marker "
+                f"replacement(s), {encoding.get('blockfinder_searches', 0)} "
+                f"block-finder candidate(s), "
+                f"{encoding.get('chunk_crc_checked', 0)} chunk CRC(s) "
+                f"verified, {encoding.get('chunk_crc_failures', 0)} failure(s)"
+            )
+        if encoding.get("catalog_rejected"):
+            reasons = "; ".join(encoding.get("catalog_errors", [])) or "?"
+            info(
+                f"{'Encoding catalog rejected':<28}: "
+                f"{encoding.get('catalog_rejected', 0)} subfield(s) "
+                f"unusable ({reasons})"
+            )
+
     # Memory governance: only reported when a governor was attached — an
     # unbudgeted run keeps its profile unchanged.
     memory = statistics.get("memory")

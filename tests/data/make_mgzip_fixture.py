@@ -1,0 +1,73 @@
+"""Regenerate ``mgzip_fixture.gz`` — a third-party-style MZ catalog file.
+
+The fixture imitates what the mgzip family of parallel compressors
+produces: independent gzip members where the *first* member's FEXTRA
+carries only an ``MZ`` subfield (chunk count + per-member compressed
+lengths), no RG subfield, and headers that differ from this library's
+writer (FNAME + MTIME are set).  The read side must accept it purely
+from the MZ lengths, harvesting CRCs and sizes from the member footers.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/make_mgzip_fixture.py
+"""
+
+import os
+import struct
+import zlib
+
+CHUNK = 8192
+PIECES = 5
+
+
+def deterministic_data() -> bytes:
+    state = 0x2545F4914F6CDD1D
+    out = bytearray()
+    words = [b"alpha", b"bravo", b"charlie", b"delta", b"echo", b"foxtrot"]
+    while len(out) < CHUNK * PIECES - 137:  # ragged final chunk
+        state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+        out += words[state % len(words)] + b" %d\n" % (state % 1000)
+    return bytes(out)
+
+
+def member(piece: bytes, *, extra: bytes = None, name: bytes = None) -> bytes:
+    flags = (0x04 if extra else 0) | (0x08 if name else 0)
+    header = struct.pack("<2sBBIBB", b"\x1f\x8b", 8, flags, 1700000000, 0, 3)
+    if extra:
+        header += struct.pack("<H", len(extra)) + extra
+    if name:
+        header += name + b"\x00"
+    compressor = zlib.compressobj(6, zlib.DEFLATED, -15)
+    deflated = compressor.compress(piece) + compressor.flush()
+    footer = struct.pack("<II", zlib.crc32(piece), len(piece) % 2**32)
+    return header + deflated + footer
+
+
+def build() -> bytes:
+    data = deterministic_data()
+    pieces = [data[i : i + CHUNK] for i in range(0, len(data), CHUNK)]
+    # Two passes: member sizes depend on the first header, whose MZ
+    # payload length is fixed by the piece count alone.
+    mz = b"MZ" + struct.pack("<HI", 4 + 4 * len(pieces), len(pieces))
+    mz_lengths_offset = len(mz)
+    mz += b"\x00" * (4 * len(pieces))
+    members = [
+        member(piece, extra=mz if number == 0 else None,
+               name=b"fixture.txt" if number == 0 else None)
+        for number, piece in enumerate(pieces)
+    ]
+    lengths = struct.pack("<%dI" % len(members), *map(len, members))
+    first = bytearray(members[0])
+    extra_offset = 12  # fixed header + XLEN
+    first[extra_offset + mz_lengths_offset:
+          extra_offset + mz_lengths_offset + len(lengths)] = lengths
+    members[0] = bytes(first)
+    return b"".join(members)
+
+
+if __name__ == "__main__":
+    blob = build()
+    target = os.path.join(os.path.dirname(__file__), "mgzip_fixture.gz")
+    with open(target, "wb") as sink:
+        sink.write(blob)
+    print(f"wrote {target} ({len(blob)} bytes, {PIECES} members)")

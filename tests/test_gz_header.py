@@ -7,12 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import GzipHeaderError, TruncatedError
+from repro.errors import GzipHeaderError, TruncatedError, UsageError
 from repro.gz.header import (
     FEXTRA,
     FHCRC,
     FNAME,
     GzipHeader,
+    build_extra_subfields,
     parse_gzip_footer,
     parse_gzip_header,
     serialize_gzip_footer,
@@ -126,6 +127,72 @@ class TestRoundTrip:
         assert header.mtime == mtime
         assert header.name == name
         assert header.ftext == ftext
+
+
+class TestMultiSubfieldExtra:
+    def test_build_round_trips_through_parser(self):
+        extra = build_extra_subfields(
+            [(b"M", b"Z", b"\x01\x02\x03"), (0x52, 0x47, b""), (b"A", b"P", b"x" * 300)]
+        )
+        header = parse(serialize_gzip_header(extra=extra) + b"\x00")
+        assert header.extra_subfields() == [
+            (ord("M"), ord("Z"), b"\x01\x02\x03"),
+            (0x52, 0x47, b""),
+            (ord("A"), ord("P"), b"x" * 300),
+        ]
+
+    def test_serialize_accepts_subfield_list_directly(self):
+        blob_from_list = serialize_gzip_header(
+            extra=[(ord("M"), ord("Z"), b"\x07\x08")]
+        )
+        blob_from_bytes = serialize_gzip_header(
+            extra=build_extra_subfields([(ord("M"), ord("Z"), b"\x07\x08")])
+        )
+        assert blob_from_list == blob_from_bytes
+
+    def test_header_crc_covers_multi_subfield_extra(self):
+        extra = build_extra_subfields(
+            [(b"M", b"Z", b"\x01\x02"), (b"R", b"G", b"\x03\x04")]
+        )
+        blob = bytearray(
+            serialize_gzip_header(extra=extra, header_crc=True)
+        )
+        assert parse(bytes(blob) + b"\x00").extra_subfields()
+        blob[14] ^= 0xFF  # flip a subfield-ID byte
+        with pytest.raises(GzipHeaderError):
+            parse(bytes(blob) + b"\x00")
+
+    def test_stdlib_skips_multi_subfield_extra(self):
+        import zlib
+
+        payload = b"extra interop"
+        deflated = zlib.compress(payload, 6)[2:-4]
+        extra = build_extra_subfields(
+            [(b"M", b"Z", b"\x00" * 8), (b"R", b"G", b"\x00" * 16)]
+        )
+        blob = (
+            serialize_gzip_header(extra=extra)
+            + deflated
+            + serialize_gzip_footer(zlib.crc32(payload), len(payload))
+        )
+        assert stdlib_gzip.decompress(blob) == payload
+
+    def test_oversized_subfield_rejected(self):
+        with pytest.raises(UsageError):
+            build_extra_subfields([(b"M", b"Z", b"x" * 0x10000)])
+
+    def test_oversized_total_rejected(self):
+        fields = [(b"A", bytes([65 + i]), b"x" * 0x4000) for i in range(5)]
+        with pytest.raises(UsageError):
+            build_extra_subfields(fields)
+
+    def test_truncated_subfield_parses_as_opaque(self):
+        # A malformed FEXTRA payload (length field overruns) must not
+        # crash extra_subfields(); the remainder is surfaced raw.
+        extra = b"MZ" + (999).to_bytes(2, "little") + b"\x01"
+        header = parse(serialize_gzip_header(extra=extra) + b"\x00")
+        fields = header.extra_subfields()
+        assert fields  # parser yields something rather than raising
 
 
 class TestFooter:
