@@ -28,6 +28,7 @@ sys.path.insert(0, str(_HERE))  # conftest, bench_decode_kernels
 
 import bench_decode_kernels as kernels  # noqa: E402
 import bench_parallel_friendly as parallel_friendly  # noqa: E402
+import bench_remote_source as remote_source  # noqa: E402
 
 
 def baseline_entry(document: dict) -> dict:
@@ -71,6 +72,11 @@ SUITES = {
         parallel_friendly.measure,
         parallel_friendly.TRAJECTORY_PATH,
         parallel_friendly.REPS,
+    ),
+    "remote": (
+        remote_source.measure,
+        remote_source.TRAJECTORY_PATH,
+        remote_source.REPS,
     ),
 }
 

@@ -27,7 +27,13 @@ import time
 
 from . import __version__
 from .deflate.kernels import DECODER_NAMES
-from .errors import ReproError, exit_code_for
+from .errors import (
+    EXIT_NETWORK,
+    NetworkError,
+    ReproError,
+    SourceChangedError,
+    exit_code_for,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -134,6 +140,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for spilled chunks (default: a private temp "
         "directory, removed on exit); implies the spill tier even "
         "without --max-memory",
+    )
+    robustness.add_argument(
+        "--net-retries",
+        type=int,
+        default=4,
+        metavar="N",
+        help="for http(s):// inputs: retry budget per range read; "
+        "transient failures back off with jitter, a persistently dead "
+        "origin trips the circuit breaker and exits with code 9 "
+        "(default: 4)",
+    )
+    robustness.add_argument(
+        "--net-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="for http(s):// inputs: total per-read deadline covering "
+        "all retries and backoff (per-attempt socket timeout is "
+        "derived); default: 30",
+    )
+    robustness.add_argument(
+        "--net-block-size",
+        type=int,
+        default=1024,
+        metavar="KiB",
+        help="for http(s):// inputs: aligned wire-block size of the "
+        "read-coalescing cache — one HTTP range request per block "
+        "(default: 1024 = 1 MiB)",
     )
 
     group = parser.add_argument_group("index")
@@ -286,6 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _read_input(path: str) -> bytes:
     if path == "-":
         return sys.stdin.buffer.read()
+    if path.startswith(("http://", "https://")):
+        from .io import open_remote
+
+        with open_remote(path) as reader:
+            return reader.pread(0, reader.size())
     with open(path, "rb") as handle:
         return handle.read()
 
@@ -333,11 +372,51 @@ def main(argv=None) -> int:
         cause = error.__cause__
         if cause is not None and cause is not error:
             print(f"rapidgzip-py: caused by: {cause}", file=sys.stderr)
+        code = exit_code_for(error)
+        if code == EXIT_NETWORK:
+            _summarize_network_failure(error)
         # Distinct exit codes per failure class: format=4, integrity=5,
-        # worker-crash=6, recovery=7, other library errors=1.
-        return exit_code_for(error)
+        # worker-crash=6, recovery=7, index=8, network=9, other library
+        # errors=1.
+        return code
     except BrokenPipeError:
         return 141
+
+
+def _summarize_network_failure(error) -> None:
+    """One stderr line saying which range failed and how hard we tried."""
+    network = None
+    seen = set()
+    cursor = error
+    while cursor is not None and id(cursor) not in seen:
+        seen.add(id(cursor))
+        if isinstance(cursor, NetworkError):
+            if network is None or (
+                network.attempts is None and cursor.attempts is not None
+            ):
+                network = cursor  # prefer the one carrying retry context
+        cursor = cursor.__cause__
+    if network is None:
+        return
+    if isinstance(network, SourceChangedError):
+        print(
+            f"rapidgzip-py: network: the remote object at "
+            f"{network.url or '?'} changed mid-decode; re-run to read "
+            f"the new version",
+            file=sys.stderr,
+        )
+        return
+    attempts = network.attempts if network.attempts is not None else 1
+    if network.offset is not None and network.size is not None:
+        where = f"range [{network.offset}, {network.offset + network.size})"
+    else:
+        where = "the source"
+    print(
+        f"rapidgzip-py: network: gave up on {where} of "
+        f"{network.url or '?'} after {attempts} attempt(s)"
+        + (" (circuit breaker open)" if network.circuit_open else ""),
+        file=sys.stderr,
+    )
 
 
 def _dispatch(arguments) -> int:
@@ -400,7 +479,21 @@ def _dispatch(arguments) -> int:
     from .index import load_index
     from .reader import ParallelGzipReader
 
-    source = _read_input(arguments.file) if arguments.file == "-" else arguments.file
+    is_url = arguments.file.startswith(("http://", "https://"))
+    if arguments.file == "-":
+        source = _read_input(arguments.file)
+    elif is_url:
+        from .io import open_remote
+
+        source = open_remote(
+            arguments.file,
+            retries=max(arguments.net_retries, 0),
+            deadline=arguments.net_timeout,
+            timeout=min(arguments.net_timeout, 10.0),
+            block_size=max(arguments.net_block_size, 1) * 1024,
+        )
+    else:
+        source = arguments.file
 
     index = None
     if arguments.import_index:
@@ -409,7 +502,7 @@ def _dispatch(arguments) -> int:
         # check), unlike the tolerant --index-cache auto-import.
         index = load_index(
             arguments.import_index,
-            source=source if arguments.file != "-" else None,
+            source=source if arguments.file != "-" and not is_url else None,
             validate=arguments.index_validate,
         )
 
@@ -463,9 +556,16 @@ def _dispatch(arguments) -> int:
         ):
             return 0  # index-only invocation
 
+        base_name = arguments.file
+        if is_url:
+            import urllib.parse
+
+            base_name = os.path.basename(
+                urllib.parse.urlsplit(arguments.file).path
+            ) or "remote"
         default_name = (
-            arguments.file[:-3] if arguments.file.endswith(".gz") else
-            arguments.file + ".out"
+            base_name[:-3] if base_name.endswith(".gz") else
+            base_name + ".out"
         )
         sink = _open_output(arguments, default_name)
         while True:

@@ -94,6 +94,42 @@ class IndexIntegrityError(ReproError):
         return f"[{self.check}] {message}" if self.check else message
 
 
+class NetworkError(ReproError):
+    """A remote range read failed after the configured resilience budget.
+
+    Raised by :mod:`repro.io.remote` when an HTTP range request (or any
+    wrapped reader's ``pread``) keeps failing past the retry ladder, the
+    per-read deadline, or while the circuit breaker is open. Carries the
+    failing range so the CLI can print *which* bytes were unreachable:
+    ``url`` names the origin (``None`` for non-HTTP sources), ``offset``/
+    ``size`` the requested range, and ``attempts`` how many tries were
+    burned before giving up. ``circuit_open`` marks fail-fast rejections
+    issued without touching the wire.
+    """
+
+    def __init__(self, message: str, *, url: str = None, offset: int = None,
+                 size: int = None, attempts: int = None,
+                 circuit_open: bool = False):
+        super().__init__(message)
+        self.url = url
+        self.offset = offset
+        self.size = size
+        self.attempts = attempts
+        self.circuit_open = circuit_open
+
+
+class SourceChangedError(NetworkError):
+    """The remote object changed underneath an ongoing decode.
+
+    Raised when a response's ETag/``Last-Modified`` validators (or the
+    advertised size) no longer match what was captured at open — the
+    same philosophy as the index store's fingerprint binding: mixing
+    bytes from two object generations would produce silent garbage, so
+    the mismatch surfaces as a structured error instead. Never retried
+    and never absorbed by tolerant mode.
+    """
+
+
 class ChunkDecodeError(ReproError):
     """A chunk could not be produced after the full retry ladder.
 
@@ -119,6 +155,7 @@ EXIT_INTEGRITY = 5
 EXIT_WORKER_CRASH = 6
 EXIT_RECOVERY = 7
 EXIT_INDEX = 8
+EXIT_NETWORK = 9
 
 
 def exit_code_for(error: BaseException) -> int:
@@ -131,6 +168,8 @@ def exit_code_for(error: BaseException) -> int:
     cursor = error
     while cursor is not None and id(cursor) not in seen:
         seen.add(id(cursor))
+        if isinstance(cursor, NetworkError):
+            return EXIT_NETWORK
         if isinstance(cursor, IndexIntegrityError):
             return EXIT_INDEX
         if isinstance(cursor, RecoveryError):

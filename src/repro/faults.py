@@ -29,6 +29,20 @@ copy-on-write by forked workers), so chunk-level faults fire in the
 worker that actually decodes the chunk. ``kill`` in a *parent* process
 (thread backend) degrades to raising :class:`WorkerCrashedError` — the
 same signal, without taking down the caller.
+
+**Network I/O faults.** The ``io.pread`` site fires inside
+:class:`~repro.io.remote.ResilientFileReader` before *every* read
+attempt, with ``chunk_id`` carrying the byte offset and ``attempt`` the
+retry ordinal — so ``FaultSpec("io.pread", "raise", error="network",
+probability=0.1, attempts=None)`` simulates a flaky origin (retried by
+the resilience ladder), ``kind="delay"`` simulates origin latency, and
+``kind="stall"`` exercises per-read deadlines, all without any server.
+For faults *below* the reader — 503s, dropped connections, truncated
+bodies, mid-decode content swaps — use the in-process
+:class:`~repro.io.fault_server.FaultHTTPServer`, whose decisions hash
+``(seed, kind, range_start, attempt)`` the same way this module hashes
+``(seed, site, chunk_id, attempt)``: replaying with the failing test's
+``CHAOS_SEED`` replays the exact same faults.
 """
 
 from __future__ import annotations
@@ -43,6 +57,7 @@ from dataclasses import dataclass
 from .errors import (
     FormatError,
     IndexIntegrityError,
+    NetworkError,
     TruncatedError,
     UsageError,
     WorkerCrashedError,
@@ -69,6 +84,7 @@ SITES = (
     "index.load",  # persistent index import (store.load_index)
     "index.window",  # seek-point window validation/inflation
     "index.export",  # persistent index export (store.save_index)
+    "io.pread",  # every ResilientFileReader read attempt (network I/O)
 )
 
 
@@ -121,7 +137,7 @@ class FaultSpec:
 
     * ``"raise"`` — raise an exception (``error`` picks the class:
       ``"injected"``/``"format"``/``"truncated"``/``"crash"``/
-      ``"index"``);
+      ``"index"``/``"network"``);
     * ``"delay"`` — sleep ``delay_seconds`` then continue;
     * ``"stall"`` — like delay, semantically "this task hung" (use with
       a watchdog/timeout that should fire first);
@@ -170,6 +186,7 @@ _ERROR_CLASSES = {
     "truncated": TruncatedError,
     "crash": WorkerCrashedError,
     "index": _injected_index_error,
+    "network": NetworkError,
 }
 
 

@@ -22,6 +22,10 @@ Reader recipes:
   :data:`_INHERITED_SOURCES`. Zero per-task shipping cost.
 * ``("bytes", data)`` — the source travels inside the spec. Spawn-safe
   fallback when fork inheritance is unavailable.
+* ``("url", options)`` — a remote source: the child rebuilds the full
+  resilient HTTP stack from a :class:`~repro.io.RemoteReaderOptions`
+  bound to the parent's discovered size/ETag, so a mid-decode origin
+  swap is detected child-side too.
 """
 
 from __future__ import annotations
@@ -85,6 +89,9 @@ def make_reader_recipe(file_reader: FileReader, *, fork: bool):
     file-like object's single shared cursor cannot be shipped to another
     process.
     """
+    options = getattr(file_reader, "remote_options", None)
+    if options is not None:
+        return ("url", options), None
     if isinstance(file_reader, StandardFileReader):
         return ("path", file_reader.path), None
     if isinstance(file_reader, MemoryFileReader):
@@ -118,6 +125,14 @@ def resolve_reader_recipe(recipe) -> FileReader:
         return MemoryFileReader(data)
     if kind == "bytes":
         return MemoryFileReader(recipe[1])
+    if kind == "url":
+        reader = _READER_CACHE.get(recipe)
+        if reader is None:
+            from ..io.remote import reader_from_options
+
+            reader = reader_from_options(recipe[1])
+            _READER_CACHE[recipe] = reader
+        return reader
     raise UsageError(f"unknown reader recipe kind {kind!r}")
 
 
@@ -206,6 +221,11 @@ def execute_chunk_task(spec: ChunkTaskSpec) -> RemoteChunkOutcome:
         recorder.set_thread_name(multiprocessing.current_process().name)
     faults.install(spec.faults)  # None outside chaos runs
     reader = resolve_reader_recipe(spec.recipe)
+    attach = getattr(reader, "attach_telemetry", None)
+    if attach is not None:
+        # Remote stacks: wire counters accumulate into this task's local
+        # registry and merge back to the parent with everything else.
+        attach(telemetry)
     try:
         with recorder.span(
             "chunk.decode", chunk_id=spec.chunk_id, mode=spec.mode,

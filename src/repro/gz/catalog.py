@@ -194,6 +194,17 @@ def _catalog_from_mz(file_reader, lengths: list) -> ArchiveCatalog:
     catalog = ArchiveCatalog(
         layout="members", source="mz", compressed_size=file_size
     )
+    # Remote sources: the per-member magic/footer probes below would pay
+    # one wire round trip each — hint them all up front so a block-cached
+    # reader fetches concurrently and the serial walk hits cache.
+    warm = getattr(file_reader, "warm_ranges", None)
+    if warm is not None:
+        spans, probe_offset = [], 0
+        for length in lengths:
+            spans.append((probe_offset, 2))
+            spans.append((probe_offset + length - 8, 8))
+            probe_offset += length
+        warm(spans)
     offset = 0
     output_offset = 0
     for length in lengths:
@@ -223,6 +234,13 @@ def _validate_rg_catalog(file_reader, catalog: ArchiveCatalog) -> None:
             f"RG catalog describes a {catalog.compressed_size}-byte file, "
             f"this file is {file_reader.size()} bytes"
         )
+    warm = getattr(file_reader, "warm_ranges", None)
+    if warm is not None and catalog.layout == "members":
+        warm([
+            (chunk.start_bit // 8, 2)
+            for chunk in catalog.chunks
+            if chunk.start_bit % 8 == 0
+        ])
     for chunk in catalog.chunks:
         if chunk.start_bit % 8:
             raise FormatError("RG catalog chunk start is not byte-aligned")

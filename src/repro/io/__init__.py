@@ -1,4 +1,5 @@
-"""I/O substrate: file reader abstraction and the LSB-first bit reader."""
+"""I/O substrate: file readers (local, remote HTTP-range) and the
+LSB-first bit reader."""
 
 from .bit_reader import BitReader
 from .file_reader import (
@@ -8,15 +9,33 @@ from .file_reader import (
     StandardFileReader,
     ensure_file_reader,
 )
+from .remote import (
+    BlockCacheFileReader,
+    CircuitBreaker,
+    HttpRangeFileReader,
+    RemoteReaderOptions,
+    ResilientFileReader,
+    is_remote_url,
+    open_remote,
+    reader_from_options,
+)
 from .shared_file_reader import SharedFileReader, strided_read_benchmark
 
 __all__ = [
     "BitReader",
+    "BlockCacheFileReader",
+    "CircuitBreaker",
     "FileReader",
+    "HttpRangeFileReader",
     "MemoryFileReader",
     "PythonFileReader",
-    "StandardFileReader",
+    "RemoteReaderOptions",
+    "ResilientFileReader",
     "SharedFileReader",
+    "StandardFileReader",
     "ensure_file_reader",
+    "is_remote_url",
+    "open_remote",
+    "reader_from_options",
     "strided_read_benchmark",
 ]

@@ -1,0 +1,269 @@
+"""Deterministic fault-injecting HTTP range server for tests and benchmarks.
+
+CI has no external network, and a real flaky origin would make chaos
+tests unreproducible anyway. :class:`FaultHTTPServer` serves one
+in-memory payload over loopback with full ``Range:``/HEAD/ETag support
+and *seeded* misbehaviour, so the remote-source suites exercise every
+failure mode :mod:`repro.io.remote` claims to survive:
+
+* ``error_rate`` — fraction of range requests answered with HTTP 503;
+* ``latency`` — seconds of sleep injected before every response (the
+  latency-hiding benchmark's knob);
+* ``drop_rate`` — fraction of requests whose connection is closed
+  without any response (mid-decode connection drops);
+* ``short_read_rate`` — fraction of 206 responses whose body is
+  truncated halfway (connection dropped mid-body);
+* ``fail_first`` — the first N attempts at *every* range fail with 503
+  (exact retry-count assertions);
+* ``fail_ranges`` — byte ranges that *always* 503 (tolerant-mode damage
+  regions on exhausted ranges);
+* ``hard_down`` — every request 503s (circuit-breaker / exit-code-9
+  paths);
+* :meth:`set_payload` — swap the object (bumping the ETag) to trigger
+  mid-decode :class:`~repro.errors.SourceChangedError`.
+
+Probabilistic decisions hash ``(seed, kind, range_start, attempt)`` with
+a per-range attempt counter, not a global request ordinal — so request
+interleaving across worker threads cannot change any outcome, replaying
+with the same ``CHAOS_SEED`` replays the same faults, and any fault
+rate below 1.0 still guarantees every range eventually succeeds under
+retries. Use as a context manager::
+
+    with FaultHTTPServer(payload, seed=1337, error_rate=0.1) as server:
+        reader = open_remote(server.url)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["FaultHTTPServer"]
+
+
+def _decide(seed: int, kind: str, start: int, attempt: int,
+            rate: float) -> bool:
+    """Deterministic biased coin for one (range, attempt) decision."""
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    digest = hashlib.blake2s(
+        f"{seed}:{kind}:{start}:{attempt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64 < rate
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "FaultRangeServer/1.0"
+
+    def log_message(self, *args) -> None:  # keep test output clean
+        pass
+
+    # -- request accounting and fault decisions ------------------------------
+
+    def _fault_plan(self, start: int):
+        """Count the attempt and decide this request's fate.
+
+        Returns one of ``"drop"``, ``"error"``, ``"short"``, or ``None``
+        (serve normally). Latency is applied by the caller either way.
+        """
+        box = self.server.fault_box
+        with box["lock"]:
+            box["requests"] += 1
+            attempt = box["attempts"].get(start, 0)
+            box["attempts"][start] = attempt + 1
+        if box["hard_down"]:
+            return "error"
+        if attempt < box["fail_first"]:
+            return "error"
+        for lo, hi in box["fail_ranges"]:
+            if lo <= start < hi:
+                return "error"
+        seed = box["seed"]
+        if _decide(seed, "drop", start, attempt, box["drop_rate"]):
+            return "drop"
+        if _decide(seed, "error", start, attempt, box["error_rate"]):
+            return "error"
+        if _decide(seed, "short", start, attempt, box["short_read_rate"]):
+            return "short"
+        return None
+
+    def _sleep(self) -> None:
+        latency = self.server.fault_box["latency"]
+        if latency:
+            time.sleep(latency)
+
+    def _drop(self) -> None:
+        with self.server.fault_box["lock"]:
+            self.server.fault_box["drops"] += 1
+        self.close_connection = True
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+    def _refuse(self) -> None:
+        with self.server.fault_box["lock"]:
+            self.server.fault_box["errors"] += 1
+        self.send_response(503)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    # -- HTTP ----------------------------------------------------------------
+
+    def _common_headers(self) -> None:
+        box = self.server.fault_box
+        self.send_header("ETag", box["etag"])
+        self.send_header("Last-Modified", box["last_modified"])
+        self.send_header("Accept-Ranges", "bytes")
+
+    def do_HEAD(self) -> None:
+        self._sleep()
+        plan = self._fault_plan(-1)
+        if plan == "drop":
+            self._drop()
+            return
+        if plan == "error":
+            self._refuse()
+            return
+        payload = self.server.fault_box["payload"]
+        self.send_response(200)
+        self._common_headers()
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+
+    def do_GET(self) -> None:
+        box = self.server.fault_box
+        payload = box["payload"]
+        total = len(payload)
+        header = self.headers.get("Range")
+        start, stop = 0, total
+        if header and header.startswith("bytes="):
+            lo, _, hi = header[len("bytes="):].partition("-")
+            start = int(lo) if lo else 0
+            stop = int(hi) + 1 if hi else total
+        self._sleep()
+        plan = self._fault_plan(start if header else 0)
+        if plan == "drop":
+            self._drop()
+            return
+        if plan == "error":
+            self._refuse()
+            return
+        if header and start >= total:
+            self.send_response(416)
+            self._common_headers()
+            self.send_header("Content-Range", f"bytes */{total}")
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        stop = min(stop, total)
+        body = payload[start:stop]
+        if header:
+            self.send_response(206)
+            self._common_headers()
+            self.send_header(
+                "Content-Range", f"bytes {start}-{stop - 1}/{total}"
+            )
+        else:
+            self.send_response(200)
+            self._common_headers()
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if plan == "short" and len(body) > 1:
+            with box["lock"]:
+                box["short_reads"] += 1
+            self.wfile.write(body[: len(body) // 2])
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+            return
+        self.wfile.write(body)
+
+
+class FaultHTTPServer:
+    """In-process loopback HTTP range server with seeded misbehaviour."""
+
+    def __init__(self, payload: bytes, *, seed: int = 0,
+                 error_rate: float = 0.0, latency: float = 0.0,
+                 drop_rate: float = 0.0, short_read_rate: float = 0.0,
+                 fail_first: int = 0, fail_ranges=(),
+                 hard_down: bool = False) -> None:
+        self._box = {
+            "lock": threading.Lock(),
+            "payload": bytes(payload),
+            "seed": seed,
+            "error_rate": error_rate,
+            "latency": latency,
+            "drop_rate": drop_rate,
+            "short_read_rate": short_read_rate,
+            "fail_first": fail_first,
+            "fail_ranges": tuple(tuple(r) for r in fail_ranges),
+            "hard_down": hard_down,
+            "etag": '"gen-1"',
+            "last_modified": "Thu, 01 Jan 1970 00:00:01 GMT",
+            "generation": 1,
+            "attempts": {},
+            "requests": 0,
+            "errors": 0,
+            "drops": 0,
+            "short_reads": 0,
+        }
+        self._server = ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+        self._server.fault_box = self._box
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/payload"
+
+    @property
+    def request_count(self) -> int:
+        with self._box["lock"]:
+            return self._box["requests"]
+
+    def counters(self) -> dict:
+        with self._box["lock"]:
+            return {
+                key: self._box[key]
+                for key in ("requests", "errors", "drops", "short_reads")
+            }
+
+    def set_payload(self, payload: bytes) -> None:
+        """Replace the object — a new generation with a new ETag, as if
+        someone re-uploaded the file mid-decode."""
+        with self._box["lock"]:
+            self._box["payload"] = bytes(payload)
+            self._box["generation"] += 1
+            generation = self._box["generation"]
+            self._box["etag"] = f'"gen-{generation}"'
+            self._box["last_modified"] = (
+                f"Thu, 01 Jan 1970 00:00:{generation:02d} GMT"
+            )
+
+    def set_hard_down(self, value: bool) -> None:
+        with self._box["lock"]:
+            self._box["hard_down"] = bool(value)
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "FaultHTTPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

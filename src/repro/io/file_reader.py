@@ -138,10 +138,14 @@ class StandardFileReader(FileReader):
     the paper's ``SharedFileReader`` benchmark (Fig. 8).
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, _fd: int = None) -> None:
         super().__init__()
-        self._path = os.fspath(path)
-        self._fd = os.open(self._path, os.O_RDONLY)
+        if _fd is not None:
+            self._path = os.fspath(path)
+            self._fd = _fd
+        else:
+            self._path = os.fspath(path)
+            self._fd = os.open(self._path, os.O_RDONLY)
         self._size = os.fstat(self._fd).st_size
         self._position = 0
 
@@ -170,7 +174,12 @@ class StandardFileReader(FileReader):
         return b"".join(pieces)
 
     def clone(self) -> "StandardFileReader":
-        return StandardFileReader(self._path)
+        # Duplicate the descriptor instead of reopening by path: if the
+        # path was replaced since open (atomic re-export, log rotation),
+        # a path-based clone would silently read a *different* file
+        # mid-decode. dup() stays bound to the original inode.
+        self._check_open()
+        return StandardFileReader(self._path, _fd=os.dup(self._fd))
 
     def close(self) -> None:
         if not self._closed:
@@ -225,13 +234,18 @@ class PythonFileReader(FileReader):
 def ensure_file_reader(source) -> FileReader:
     """Coerce ``source`` into a :class:`FileReader`.
 
-    Accepts an existing reader (returned as-is), ``bytes``-like data, a
+    Accepts an existing reader (returned as-is), ``bytes``-like data, an
+    ``http(s)://`` URL (opened as a resilient cached remote source), a
     filesystem path, or a Python file-like object.
     """
     if isinstance(source, FileReader):
         return source
     if isinstance(source, (bytes, bytearray, memoryview)):
         return MemoryFileReader(source)
+    if isinstance(source, str) and source.startswith(("http://", "https://")):
+        from .remote import open_remote  # local import: avoids a cycle
+
+        return open_remote(source)
     if isinstance(source, (str, os.PathLike)):
         return StandardFileReader(source)
     if hasattr(source, "read") and hasattr(source, "seek"):

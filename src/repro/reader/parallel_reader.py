@@ -28,6 +28,8 @@ from ..errors import (
     FormatError,
     IndexIntegrityError,
     IntegrityError,
+    NetworkError,
+    SourceChangedError,
     TruncatedError,
     UsageError,
 )
@@ -50,6 +52,18 @@ from ..telemetry import (
 from ..telemetry.exporter import STATS_SCHEMA
 
 __all__ = ["ParallelGzipReader", "decompress_parallel"]
+
+
+def _network_cause(error):
+    """The :class:`NetworkError` in ``error``'s cause chain, or ``None``."""
+    seen = set()
+    cursor = error
+    while cursor is not None and id(cursor) not in seen:
+        seen.add(id(cursor))
+        if isinstance(cursor, NetworkError):
+            return cursor
+        cursor = cursor.__cause__
+    return None
 
 
 class ParallelGzipReader:
@@ -208,6 +222,11 @@ class ParallelGzipReader:
         self._chunk_crc_failures = self.telemetry.metrics.counter(
             "encoding.chunk_crc_failures"
         )
+        # Remote stacks count wire traffic from the very first probe
+        # request, so attach telemetry before the fetcher is built.
+        attach_net = getattr(self._file_reader, "attach_telemetry", None)
+        if attach_net is not None:
+            attach_net(self.telemetry)
         self._opened_at = time.perf_counter()
         self.telemetry.metrics.probe(
             "reader.uptime_seconds",
@@ -561,6 +580,11 @@ class ParallelGzipReader:
         from ..recovery import DamagedRegion, resync_after_damage
 
         start_bit, _window, _is_stream_start = self._frontier
+        network = _network_cause(error)
+        if isinstance(network, SourceChangedError):
+            # A new object generation: placeholder-filling would mix
+            # bytes from two versions — never absorbed, even tolerant.
+            raise error
         cause = getattr(error, "__cause__", None)
         kind = (
             "truncated"
@@ -570,6 +594,33 @@ class ParallelGzipReader:
         )
         output_start = self._block_map.known_size
         self._verify_active = False  # checksums are meaningless past damage
+        if network is not None:
+            # The bytes are unreachable, not corrupt: block-finder resync
+            # would hammer the same dead origin for every candidate. Mark
+            # the rest of the file lost and stop cleanly.
+            self._damage.regions.append(
+                DamagedRegion(
+                    kind="network",
+                    start_bit=start_bit,
+                    resume_bit=None,
+                    output_offset=output_start,
+                    skipped_bits=max(
+                        self._file_reader.size() * 8 - start_bit, 0
+                    ),
+                    detail=str(network),
+                )
+            )
+            if self.telemetry.recorder.enabled:
+                self.telemetry.recorder.instant(
+                    "reader.damage", kind="network", start_bit=start_bit,
+                    resumed=False,
+                )
+            self._frontier = None
+            if not self._index.finalized:
+                self._index.finalize(
+                    output_start, self._file_reader.size() * 8
+                )
+            return None
         if self._fetcher.mode == "bgzf":
             return self._absorb_bgzf_damage(start_bit, kind, error)
         with self.telemetry.recorder.span(
@@ -959,8 +1010,18 @@ class ParallelGzipReader:
     def _record_index_damage(self, record: ChunkRecord, error) -> bytes:
         from ..recovery import DamagedRegion
 
+        network = _network_cause(error)
+        if isinstance(network, SourceChangedError):
+            raise error  # generation mismatch is never placeholder-filled
         cause = getattr(error, "__cause__", None)
-        kind = "truncated" if isinstance(cause, TruncatedError) else "corrupt"
+        if network is not None:
+            # Exhausted retries on this chunk's byte range: the extent is
+            # known, so the damage is exactly this chunk, not the file.
+            kind = "network"
+        elif isinstance(cause, TruncatedError):
+            kind = "truncated"
+        else:
+            kind = "corrupt"
         placeholder = bytes([self._damage.placeholder]) * record.length
         self._damage.regions.append(
             DamagedRegion(
@@ -1197,6 +1258,12 @@ class ParallelGzipReader:
             "export_failures": counter("index.export_failures").value,
         }
         stats["materialized_cache"] = self._materialized.snapshot()
+        network_stats = getattr(
+            self._file_reader, "network_statistics", None
+        )
+        stats["network"] = (
+            network_stats() if network_stats is not None else None
+        )
         stats["spill"] = (
             self._spill.statistics() if self._spill is not None else None
         )

@@ -13,6 +13,10 @@ and attributes its wall time across named stages:
   was decoding yet (pool oversubscribed or prefetch issued too late);
 * ``decode`` — actual Deflate decoding the read waited on (worker-side
   while blocked on a future, or serially on the reading thread);
+* ``network-io`` — wire time on remote sources: ``net.request`` spans
+  the read waited on, either directly on the reading thread or inside a
+  worker's decode of the awaited chunk (matched by process/thread, since
+  wire spans carry no chunk id);
 * ``window-propagation`` — materialization: marker replacement with the
   propagated 32 KiB window, the paper's sequential tail;
 * ``backpressure-stall`` — blocked in the memory governor waiting for
@@ -60,6 +64,7 @@ READ_STAGES = (
     "block-find",
     "queue-wait",
     "decode",
+    "network-io",
     "window-propagation",
     "backpressure-stall",
     "spill-io",
@@ -81,6 +86,7 @@ _DIRECT_STAGES = {
     "reader.verify": "verify",
     "chunk.harvest": "bookkeeping",
     "chunk.decode": "decode",  # serial on-demand decode on the read thread
+    "net.request": "network-io",  # wire round trips on the read thread
 }
 
 #: Waits on another execution context, split causally by chunk id.
@@ -110,6 +116,12 @@ _ADVICE = {
         "decode-bound: reads waited on Deflate decoding itself — raise "
         "-P, prefer --backend processes for the search path, and keep "
         "the fused decoder enabled"
+    ),
+    "network-io": (
+        "origin-latency-bound: reads waited on wire round trips to the "
+        "remote source — raise prefetch depth (-P) so requests overlap, "
+        "increase --net-block-size to amortize per-request latency, and "
+        "persist an index (--export-index) to skip block-search probing"
     ),
     "window-propagation": (
         "window-propagation-bound: the sequential marker-replacement "
@@ -253,18 +265,45 @@ def attribute_reads(trace_events, event_records=None) -> dict:
 
     # Worker-side activity per chunk id, merged once, reused per wait.
     decode_by_chunk: dict = {}
+    decode_contexts: dict = {}  # chunk -> [(pid, tid, lo, hi)]
     find_by_chunk: dict = {}
+    net_by_context: dict = {}  # (pid, tid) -> wire intervals
     for span in spans:
+        if span["name"] == "net.request":
+            net_by_context.setdefault(
+                (span.get("pid"), span.get("tid")), []
+            ).append((span["ts"], span["ts"] + span["dur"]))
+            continue
         chunk = _chunk_of(span)
         if chunk is None:
             continue
         interval = (span["ts"], span["ts"] + span["dur"])
         if span["name"] in ("chunk.decode", "chunk.decode_attempt"):
             decode_by_chunk.setdefault(chunk, []).append(interval)
+            decode_contexts.setdefault(chunk, []).append(
+                (span.get("pid"), span.get("tid"), *interval)
+            )
         elif span["name"] == "chunk.block_find":
             find_by_chunk.setdefault(chunk, []).append(interval)
     decode_by_chunk = {k: _merge(v) for k, v in decode_by_chunk.items()}
     find_by_chunk = {k: _merge(v) for k, v in find_by_chunk.items()}
+    net_by_context = {k: _merge(v) for k, v in net_by_context.items()}
+    # Wire time per chunk: net.request spans carry no chunk id, so credit
+    # a chunk with the wire intervals that fall inside *its* decode spans
+    # on the same process/thread — causal, not merely concurrent.
+    net_by_chunk: dict = {}
+    if net_by_context:
+        for chunk, contexts in decode_contexts.items():
+            overlaps = []
+            for pid, tid, lo, hi in contexts:
+                for start, end in net_by_context.get((pid, tid), []):
+                    if end <= lo:
+                        continue
+                    if start >= hi:
+                        break
+                    overlaps.append((max(start, lo), min(end, hi)))
+            if overlaps:
+                net_by_chunk[chunk] = _merge(overlaps)
 
     # Batched-kernel pass split: the kernels drop one instant per decoded
     # chunk; summed here they divide worker decode time into symbol
@@ -301,7 +340,18 @@ def attribute_reads(trace_events, event_records=None) -> dict:
                 children.append(span)
             elif span["name"] in _ENVELOPE_STAGES:
                 envelopes.append(span)
-        for child in sorted(children, key=lambda span: (span["ts"], -span["dur"])):
+        # Wire spans claim before anything else: on the reading thread
+        # they nest *inside* serial chunk.decode / resync spans, and the
+        # deeper truth (the read waited on the network) should win the
+        # shared interval.
+        for child in sorted(
+            children,
+            key=lambda span: (
+                0 if span["name"] == "net.request" else 1,
+                span["ts"],
+                -span["dur"],
+            ),
+        ):
             lo = max(child["ts"], read_lo)
             hi = min(child["ts"] + child["dur"], read_hi)
             if hi <= lo:
@@ -318,6 +368,7 @@ def attribute_reads(trace_events, event_records=None) -> dict:
                 chunk = _chunk_of(child)
                 decode_overlap = 0.0
                 find_overlap = 0.0
+                net_overlap = 0.0
                 for start, end in pieces:
                     decode_overlap += _clip_total(
                         decode_by_chunk.get(chunk, []), start, end
@@ -325,9 +376,16 @@ def attribute_reads(trace_events, event_records=None) -> dict:
                     find_overlap += _clip_total(
                         find_by_chunk.get(chunk, []), start, end
                     )
-                find_overlap = min(find_overlap, decode_overlap)
+                    net_overlap += _clip_total(
+                        net_by_chunk.get(chunk, []), start, end
+                    )
+                net_overlap = min(net_overlap, decode_overlap)
+                find_overlap = min(find_overlap, decode_overlap - net_overlap)
+                stages["network-io"] += net_overlap
                 stages["block-find"] += find_overlap
-                stages["decode"] += decode_overlap - find_overlap
+                stages["decode"] += (
+                    decode_overlap - net_overlap - find_overlap
+                )
                 stages["queue-wait"] += max(owned - decode_overlap, 0.0)
             else:
                 stages[_DIRECT_STAGES[child["name"]]] += owned

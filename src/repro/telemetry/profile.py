@@ -236,6 +236,41 @@ def format_profile(statistics: dict, *, wall_time: float = None,
                 f"export(s)"
             )
 
+    # Remote source: reported only when the input came over the wire —
+    # local-file runs keep their profile unchanged.
+    network = statistics.get("network")
+    if network and network.get("requests"):
+        from ..cache import format_size
+
+        wire = network.get("wire_bytes", 0)
+        served = network.get("served_bytes", 0)
+        info(
+            f"{'Network':<28}: {network.get('requests', 0)} request(s) to "
+            f"{network.get('url', '?')}"
+        )
+        ratio = network.get("coalescing_ratio")
+        info(
+            f"{'Network transfer':<28}: {format_size(wire)} over the wire "
+            f"for {format_size(served)} served"
+            + (f" ({ratio:.1f}x coalescing)" if ratio else "")
+            + f", block cache {network.get('block_hits', 0)} hit(s) / "
+            f"{network.get('block_misses', 0)} miss(es)"
+        )
+        incidents = (
+            network.get("retries", 0) + network.get("giveups", 0)
+            + network.get("breaker_opens", 0)
+            + network.get("source_changes", 0)
+        )
+        if incidents or network.get("circuit_state") != "closed":
+            info(
+                f"{'Network resilience':<28}: {network.get('retries', 0)} "
+                f"retry(ies) ({_fmt_seconds(network.get('backoff_seconds'))} "
+                f"backing off), {network.get('giveups', 0)} giveup(s), "
+                f"{network.get('breaker_opens', 0)} circuit open(s), "
+                f"{network.get('source_changes', 0)} source change(s), "
+                f"circuit now {network.get('circuit_state', '?')}"
+            )
+
     # Resilience: only reported when something actually went wrong — a
     # clean run keeps its profile unchanged.
     crashes = pool.get("worker_crashes", 0)

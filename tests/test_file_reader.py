@@ -118,6 +118,56 @@ class TestFileReaderContract:
         assert not errors
 
 
+class TestStandardFileReaderCloneBinding:
+    def test_clone_survives_path_replacement(self, tmp_path):
+        # A clone made *after* the path was atomically replaced must keep
+        # reading the original inode, not silently switch to the new file
+        # mid-decode (log rotation, atomic re-export).
+        path = tmp_path / "rotating.bin"
+        path.write_bytes(DATA)
+        reader = StandardFileReader(path)
+        replacement = tmp_path / "replacement.bin"
+        replacement.write_bytes(b"\xff" * len(DATA))
+        os.replace(replacement, path)
+        clone = reader.clone()
+        try:
+            assert clone.read() == DATA
+            assert clone.pread(100, 16) == DATA[100:116]
+            assert reader.pread(0, 16) == DATA[:16]
+        finally:
+            clone.close()
+            reader.close()
+
+    def test_clone_survives_path_deletion(self, tmp_path):
+        path = tmp_path / "doomed.bin"
+        path.write_bytes(DATA)
+        reader = StandardFileReader(path)
+        os.unlink(path)
+        clone = reader.clone()
+        try:
+            assert clone.read() == DATA
+        finally:
+            clone.close()
+            reader.close()
+
+    def test_clone_of_closed_reader_raises(self, tmp_path):
+        path = tmp_path / "closed.bin"
+        path.write_bytes(DATA)
+        reader = StandardFileReader(path)
+        reader.close()
+        with pytest.raises(UsageError):
+            reader.clone()
+
+    def test_clones_close_independently(self, tmp_path):
+        path = tmp_path / "indep.bin"
+        path.write_bytes(DATA)
+        reader = StandardFileReader(path)
+        clone = reader.clone()
+        clone.close()
+        assert reader.pread(0, 4) == DATA[:4]
+        reader.close()
+
+
 class TestEnsureFileReader:
     def test_bytes(self):
         assert isinstance(ensure_file_reader(b"abc"), MemoryFileReader)
